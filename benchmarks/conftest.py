@@ -1,0 +1,50 @@
+"""Shared fixtures for the table/figure reproduction benchmarks.
+
+Every benchmark:
+
+* uses the ``benchmark`` fixture with a single round (the measured quantity is
+  the wall-clock of regenerating the table, not a micro-benchmark);
+* prints the regenerated table in the paper's layout;
+* appends the same text to ``benchmarks/results/<experiment>.txt`` so the
+  output survives pytest's capture and can be pasted into EXPERIMENTS.md.
+
+Scale and epochs are controlled by the ``REPRO_SCALE`` / ``REPRO_SCALE_EN`` /
+``REPRO_EPOCHS`` environment variables (see ``repro.experiments.config``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments import (  # noqa: E402
+    default_chinese_config,
+    default_english_config,
+    prepare_data,
+)
+
+
+@pytest.fixture(scope="session")
+def chinese_config():
+    return default_chinese_config()
+
+
+@pytest.fixture(scope="session")
+def english_config():
+    return default_english_config()
+
+
+@pytest.fixture(scope="session")
+def chinese_bundle(chinese_config):
+    return prepare_data(chinese_config)
+
+
+@pytest.fixture(scope="session")
+def english_bundle(english_config):
+    return prepare_data(english_config)

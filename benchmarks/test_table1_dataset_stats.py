@@ -1,0 +1,28 @@
+"""Table I — Weibo21 per-domain %Fake / %News statistics."""
+
+from _bench_utils import emit, run_once
+
+from repro.data import dataset_statistics_table, imbalance_summary, make_weibo21_like
+from repro.experiments import format_dataset_statistics
+
+
+def test_table1_weibo21_statistics(benchmark):
+    def regenerate():
+        dataset = make_weibo21_like(scale=1.0, seed=2024)
+        return dataset, dataset_statistics_table(dataset)
+
+    dataset, table = run_once(benchmark, regenerate)
+    summary = imbalance_summary(dataset)
+    text = format_dataset_statistics(table, title="Table I — Weibo21-like statistics (full scale)")
+    text += ("\nImbalance: %News spread "
+             f"{summary['news_share_spread']:.1f} points, %Fake spread "
+             f"{summary['fake_ratio_spread']:.1f} points")
+    emit("table1_dataset_stats", text)
+
+    by_name = {row["domain"]: row for row in table["domains"]}
+    # The paper's Table I numbers must be reproduced exactly at full scale.
+    assert table["total"] == 9128
+    assert abs(by_name["science"]["pct_news"] - 2.6) < 0.1
+    assert abs(by_name["society"]["pct_news"] - 29.2) < 0.2
+    assert abs(by_name["disaster"]["pct_fake"] - 76.1) < 0.2
+    assert abs(by_name["finance"]["pct_fake"] - 27.4) < 0.2

@@ -1,0 +1,43 @@
+"""Tables IV and V — Chinese and English dataset statistics."""
+
+from _bench_utils import emit, run_once
+
+from repro.data import (
+    ENGLISH_DOMAIN_SPECS,
+    WEIBO21_DOMAIN_SPECS,
+    dataset_statistics_table,
+    domain_statistics,
+    make_english_like,
+    make_weibo21_like,
+)
+from repro.experiments import format_dataset_statistics
+
+
+def test_table4_chinese_dataset_statistics(benchmark):
+    dataset = run_once(benchmark, lambda: make_weibo21_like(scale=1.0, seed=2024))
+    table = dataset_statistics_table(dataset)
+    emit("table4_chinese_stats",
+         format_dataset_statistics(table, title="Table IV — Chinese dataset statistics"))
+
+    stats = {row.name: row for row in domain_statistics(dataset)}
+    for spec in WEIBO21_DOMAIN_SPECS:
+        assert stats[spec.name].fake == spec.fake
+        assert stats[spec.name].real == spec.real
+    assert table["total"] == 9128 and table["total_fake"] == 4488
+
+
+def test_table5_english_dataset_statistics(benchmark):
+    # The English corpus is generated at a reduced scale by default (28,764
+    # items would dominate benchmark time); the ratios are scale-invariant.
+    dataset = run_once(benchmark, lambda: make_english_like(scale=0.1, seed=2024))
+    table = dataset_statistics_table(dataset)
+    emit("table5_english_stats",
+         format_dataset_statistics(table, title="Table V — English dataset statistics (scale 0.1)"))
+
+    by_name = {row["domain"]: row for row in table["domains"]}
+    full = {spec.name: spec for spec in ENGLISH_DOMAIN_SPECS}
+    for name, row in by_name.items():
+        expected_ratio = 100.0 * full[name].fake / full[name].total
+        assert abs(row["pct_fake"] - expected_ratio) < 1.5
+    # Gossipcop dominates the corpus, COVID is second, Politifact is tiny.
+    assert by_name["gossipcop"]["total"] > by_name["covid"]["total"] > by_name["politifact"]["total"]

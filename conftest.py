@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the package importable even when ``pip install -e .`` has not been run
+(e.g. a fresh offline checkout): the ``src`` layout directory is appended to
+``sys.path`` as a fallback.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,23 @@
+"""DTDBD reproduction: Dual-Teacher De-biasing Distillation for multi-domain fake news detection.
+
+The package is organised as a stack:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` — NumPy autograd engine and NN library
+  (substitute for PyTorch in this offline environment).
+* :mod:`repro.data` — synthetic multi-domain news corpora mirroring the
+  Weibo21 and FakeNewsNet+COVID statistics, vocabularies and data loaders.
+* :mod:`repro.encoders` — frozen pre-trained-encoder stand-in and handcrafted
+  style / emotion features.
+* :mod:`repro.models` — the baseline model zoo (TextCNN, BiGRU, EANN, EDDFN,
+  MDFEND, M3FEND, ...) and the student networks.
+* :mod:`repro.core` — the paper's contribution: adversarial de-biasing
+  distillation, domain knowledge distillation, DAT-IE training and the
+  momentum-based dynamic adjustment, wrapped in :class:`repro.core.DTDBDTrainer`.
+* :mod:`repro.metrics` — F1 and the domain-bias metrics (FNED / FPED / Total).
+* :mod:`repro.analysis` / :mod:`repro.experiments` — t-SNE, case studies and
+  the table/figure reproduction harness.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,22 @@
+"""Analyses behind the paper's figures and the Table III audit."""
+
+from repro.analysis.bias_analysis import (
+    TABLE3_DOMAINS,
+    TABLE3_MODELS,
+    BiasAudit,
+    DomainErrorRates,
+    audit_models,
+)
+from repro.analysis.case_study import (
+    CasePrediction,
+    CaseStudyRow,
+    case_study_summary,
+    run_case_study,
+)
+from repro.analysis.tsne import domain_mixing_score, feature_domain_mixing, tsne
+
+__all__ = [
+    "tsne", "domain_mixing_score", "feature_domain_mixing",
+    "run_case_study", "case_study_summary", "CaseStudyRow", "CasePrediction",
+    "audit_models", "BiasAudit", "DomainErrorRates", "TABLE3_DOMAINS", "TABLE3_MODELS",
+]

@@ -1,0 +1,92 @@
+"""Domain-bias audit of trained detectors (Table III of the paper).
+
+Table III reports the FNR and FPR of EANN, EDDFN, MDFEND and M3FEND on the
+four most imbalance-affected Weibo21 domains — disaster, politics (fake-heavy)
+and finance, entertainment (real-heavy) — and observes that the fake-heavy
+domains attract high FPR while the real-heavy domains attract high FNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.trainer import evaluate_model
+from repro.data.loader import DataLoader
+from repro.models.base import FakeNewsDetector
+
+#: the four disequilibrium domains analysed in Table III
+TABLE3_DOMAINS: tuple[str, ...] = ("disaster", "politics", "finance", "entertainment")
+#: the four advanced baselines analysed in Table III
+TABLE3_MODELS: tuple[str, ...] = ("eann", "eddfn", "mdfend", "m3fend")
+
+
+@dataclass
+class DomainErrorRates:
+    """FNR / FPR of one model on one domain."""
+
+    model: str
+    domain: str
+    fnr: float
+    fpr: float
+
+
+@dataclass
+class BiasAudit:
+    """The full Table-III structure plus a shape check of the paper's claim."""
+
+    rows: list[DomainErrorRates] = field(default_factory=list)
+
+    def for_model(self, model: str) -> dict[str, DomainErrorRates]:
+        return {row.domain: row for row in self.rows if row.model == model}
+
+    def as_table(self, domains: tuple[str, ...] = TABLE3_DOMAINS) -> dict[str, dict[str, float]]:
+        table: dict[str, dict[str, float]] = {}
+        for row in self.rows:
+            table.setdefault(row.model, {})
+            table[row.model][f"{row.domain}_fnr"] = row.fnr
+            table[row.model][f"{row.domain}_fpr"] = row.fpr
+        return table
+
+    def skew_summary(self, fake_heavy: tuple[str, ...] = ("disaster", "politics"),
+                     real_heavy: tuple[str, ...] = ("finance", "entertainment")) -> dict[str, dict]:
+        """The paper's qualitative claim, per model.
+
+        Fake-heavy domains should show FPR above FNR (models over-call "fake"),
+        real-heavy domains should show FNR above FPR (models over-call "real").
+        """
+        summary: dict[str, dict] = {}
+        for model in {row.model for row in self.rows}:
+            by_domain = self.for_model(model)
+            fake_heavy_fpr = float(np.mean([by_domain[d].fpr for d in fake_heavy if d in by_domain]))
+            fake_heavy_fnr = float(np.mean([by_domain[d].fnr for d in fake_heavy if d in by_domain]))
+            real_heavy_fpr = float(np.mean([by_domain[d].fpr for d in real_heavy if d in by_domain]))
+            real_heavy_fnr = float(np.mean([by_domain[d].fnr for d in real_heavy if d in by_domain]))
+            summary[model] = {
+                "fake_heavy_fpr": fake_heavy_fpr,
+                "fake_heavy_fnr": fake_heavy_fnr,
+                "real_heavy_fpr": real_heavy_fpr,
+                "real_heavy_fnr": real_heavy_fnr,
+                "fake_heavy_overcalls_fake": fake_heavy_fpr >= fake_heavy_fnr,
+                "real_heavy_overcalls_real": real_heavy_fnr >= real_heavy_fpr,
+            }
+        return summary
+
+
+def audit_models(models: dict[str, FakeNewsDetector], loader: DataLoader,
+                 domains: tuple[str, ...] = TABLE3_DOMAINS) -> BiasAudit:
+    """Compute per-domain FNR/FPR for every model on ``loader`` (Table III)."""
+    audit = BiasAudit()
+    domain_names = loader.dataset.domain_names
+    selected = [d for d in domains if d in domain_names] or list(domain_names)
+    for name, model in models.items():
+        report = evaluate_model(model, loader, model_name=name)
+        for domain in selected:
+            audit.rows.append(DomainErrorRates(
+                model=name,
+                domain=domain,
+                fnr=report.bias.fnr_per_domain.get(domain, 0.0),
+                fpr=report.bias.fpr_per_domain.get(domain, 0.0),
+            ))
+    return audit

@@ -1,0 +1,173 @@
+"""Command-line interface for the DTDBD reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli stats   --dataset chinese --scale 1.0
+    python -m repro.cli audit   --scale 0.3 --epochs 8
+    python -m repro.cli compare --dataset chinese --baselines textcnn m3fend --output out.json
+    python -m repro.cli ablation --students textcnn_s --output ablation.json
+    python -m repro.cli case-study --scale 0.25
+
+Every subcommand prints the corresponding paper-layout table and optionally
+writes the raw results as JSON (``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import TABLE3_MODELS, case_study_summary
+from repro.data import dataset_statistics_table, imbalance_summary
+from repro.experiments import (
+    TABLE6_BASELINES,
+    TABLE7_BASELINES,
+    default_chinese_config,
+    default_english_config,
+    format_bias_audit,
+    format_case_study,
+    format_compact_table,
+    format_comparison_table,
+    format_dataset_statistics,
+    prepare_data,
+    run_comparison,
+    run_figure3_case_study,
+    run_table3,
+    run_table8_ablation,
+    run_table9_dat_comparison,
+)
+from repro.experiments.io import save_results
+
+
+def _base_config(args):
+    factory = default_chinese_config if args.dataset == "chinese" else default_english_config
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    config = factory(**overrides)
+    if args.epochs is not None:
+        config.dat.epochs = args.epochs
+        config.dtdbd.epochs = args.epochs
+    return config
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("chinese", "english"), default="chinese")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="fraction of the paper-sized corpus (default per dataset)")
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--output", type=str, default=None,
+                        help="write raw results to this JSON file")
+
+
+def _maybe_save(results, args) -> None:
+    if args.output:
+        save_results(results, args.output)
+        print(f"\n[saved results to {args.output}]")
+
+
+def cmd_stats(args) -> int:
+    config = _base_config(args)
+    bundle = prepare_data(config)
+    table = dataset_statistics_table(bundle.dataset)
+    print(format_dataset_statistics(table, title=f"{args.dataset} dataset statistics"))
+    summary = imbalance_summary(bundle.dataset)
+    print(f"\n%News spread: {summary['news_share_spread']:.1f} points, "
+          f"%Fake spread: {summary['fake_ratio_spread']:.1f} points")
+    _maybe_save({"statistics": table, "imbalance": summary}, args)
+    return 0
+
+
+def cmd_audit(args) -> int:
+    config = _base_config(args)
+    bundle = prepare_data(config)
+    audit = run_table3(config, models=tuple(args.models), bundle=bundle)
+    print(format_bias_audit(audit))
+    _maybe_save({"table": audit.as_table(), "skew": audit.skew_summary()}, args)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = _base_config(args)
+    bundle = prepare_data(config)
+    if args.baselines:
+        baselines = tuple(args.baselines)
+    else:
+        baselines = TABLE6_BASELINES if args.dataset == "chinese" else TABLE7_BASELINES
+    reports = run_comparison(config, baselines=baselines,
+                             include_dtdbd=not args.no_dtdbd, bundle=bundle)
+    print(format_comparison_table(reports, bundle.dataset.domain_names,
+                                  title=f"{args.dataset} comparison"))
+    _maybe_save(reports, args)
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    config = _base_config(args)
+    bundle = prepare_data(config)
+    results = run_table8_ablation(config, student_names=tuple(args.students), bundle=bundle)
+    for student, rows in results.items():
+        print(format_compact_table(rows, title=f"Ablation ({student})"))
+        print()
+    dat = run_table9_dat_comparison(config, student_names=tuple(args.students), bundle=bundle)
+    for student, rows in dat.items():
+        print(format_compact_table(rows, title=f"DAT vs DAT-IE ({student})"))
+        print()
+    _maybe_save({"components": results, "dat": dat}, args)
+    return 0
+
+
+def cmd_case_study(args) -> int:
+    config = _base_config(args)
+    bundle = prepare_data(config)
+    rows = run_figure3_case_study(config, bundle=bundle)
+    print(format_case_study(rows))
+    print("\nSummary:")
+    for model, stats in case_study_summary(rows).items():
+        print(f"  {model:10s} accuracy={stats['accuracy']:.2f} "
+              f"confidence={stats['mean_confidence_true_label']:.3f}")
+    _maybe_save([row.as_dict() for row in rows], args)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="dataset statistics (Tables I/IV/V)")
+    _add_common(stats)
+    stats.set_defaults(handler=cmd_stats)
+
+    audit = subparsers.add_parser("audit", help="domain-bias audit (Table III)")
+    _add_common(audit)
+    audit.add_argument("--models", nargs="*", default=list(TABLE3_MODELS))
+    audit.set_defaults(handler=cmd_audit)
+
+    compare = subparsers.add_parser("compare", help="full comparison (Tables VI/VII)")
+    _add_common(compare)
+    compare.add_argument("--baselines", nargs="*", default=None)
+    compare.add_argument("--no-dtdbd", action="store_true")
+    compare.set_defaults(handler=cmd_compare)
+
+    ablation = subparsers.add_parser("ablation", help="component ablation (Tables VIII/IX)")
+    _add_common(ablation)
+    ablation.add_argument("--students", nargs="*", default=["textcnn_s"])
+    ablation.set_defaults(handler=cmd_ablation)
+
+    case = subparsers.add_parser("case-study", help="case study (Figure 3)")
+    _add_common(case)
+    case.set_defaults(handler=cmd_case_study)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""DTDBD core: distillation losses, DAT-IE training, momentum adjustment, trainers."""
+
+from repro.core.callbacks import EarlyStopping, EpochRecord, TrainingHistory
+from repro.core.dat import (
+    DATConfig,
+    DomainAdversarialModel,
+    train_dat_student,
+    train_unbiased_teacher,
+)
+from repro.core.distill import (
+    adversarial_debiasing_distillation_loss,
+    correlation_matrix,
+    domain_knowledge_distillation_loss,
+    teacher_forward,
+)
+from repro.core.dtdbd import DTDBDConfig, DTDBDResult, DTDBDTrainer, run_dtdbd_pipeline
+from repro.core.momentum import (
+    ConstantWeightScheduler,
+    MomentumWeightScheduler,
+    WeightSnapshot,
+)
+from repro.core.reweighting import DomainReweightedTrainer, domain_balanced_weights
+from repro.core.trainer import Trainer, TrainerConfig, collect_features, evaluate_model
+
+__all__ = [
+    "TrainingHistory", "EpochRecord", "EarlyStopping",
+    "Trainer", "TrainerConfig", "evaluate_model", "collect_features",
+    "DATConfig", "DomainAdversarialModel", "train_unbiased_teacher", "train_dat_student",
+    "correlation_matrix", "adversarial_debiasing_distillation_loss",
+    "domain_knowledge_distillation_loss", "teacher_forward",
+    "MomentumWeightScheduler", "ConstantWeightScheduler", "WeightSnapshot",
+    "DTDBDConfig", "DTDBDResult", "DTDBDTrainer", "run_dtdbd_pipeline",
+    "DomainReweightedTrainer", "domain_balanced_weights",
+]

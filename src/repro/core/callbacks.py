@@ -1,0 +1,81 @@
+"""Training history and early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EpochRecord:
+    """Metrics recorded after one training epoch."""
+
+    epoch: int
+    train_loss: float
+    val_f1: float | None = None
+    val_total_bias: float | None = None
+    val_fned: float | None = None
+    val_fped: float | None = None
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Sequence of :class:`EpochRecord` plus convenience accessors."""
+
+    records: list[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def train_losses(self) -> list[float]:
+        return [record.train_loss for record in self.records]
+
+    @property
+    def val_f1s(self) -> list[float]:
+        return [record.val_f1 for record in self.records if record.val_f1 is not None]
+
+    @property
+    def val_biases(self) -> list[float]:
+        return [record.val_total_bias for record in self.records
+                if record.val_total_bias is not None]
+
+    def best_epoch(self, metric: str = "val_f1", maximize: bool = True) -> EpochRecord | None:
+        candidates = [r for r in self.records if getattr(r, metric, None) is not None]
+        if not candidates:
+            return None
+        chooser = max if maximize else min
+        return chooser(candidates, key=lambda record: getattr(record, metric))
+
+
+class EarlyStopping:
+    """Stop training when a monitored value has not improved for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 3, minimum_delta: float = 1e-4, maximize: bool = True):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.minimum_delta = minimum_delta
+        self.maximize = maximize
+        self.best: float | None = None
+        self.stale_epochs = 0
+
+    def update(self, value: float) -> bool:
+        """Record ``value``; return True when training should stop."""
+        if self.best is None:
+            self.best = value
+            return False
+        improved = (value > self.best + self.minimum_delta if self.maximize
+                    else value < self.best - self.minimum_delta)
+        if improved:
+            self.best = value
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+        return self.stale_epochs >= self.patience

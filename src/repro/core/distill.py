@@ -1,0 +1,81 @@
+"""The two distillation losses of DTDBD.
+
+* **Adversarial de-biasing distillation (ADD, Eq. 5–6).**  The unbiased teacher
+  and the student each produce intermediate features for the same mini-batch;
+  their pairwise Euclidean correlation matrices are treated as distributions
+  (row-wise softmax at temperature ``tau``) and matched with a
+  temperature-scaled KL divergence.  The *relative relationships between
+  samples* — not the labels — are the transferred knowledge, which is what lets
+  the student inherit the unbiased geometry without being forced onto fully
+  domain-invariant features.
+
+* **Domain knowledge distillation (DKD, Eq. 12).**  The clean teacher
+  (MDFEND or M3FEND) and the student classify the same mini-batch; their
+  classifier logits are matched with the same temperature-scaled KL.  This
+  transfers fuzzy multi-domain knowledge and protects performance.
+"""
+
+from __future__ import annotations
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector
+from repro.tensor import Tensor, functional as F, no_grad
+
+
+def correlation_matrix(features: Tensor, normalize: bool = True) -> Tensor:
+    """Sample-correlation matrix ``M_ij = ||f_i - f_j||^2`` (Eq. 5).
+
+    With ``normalize=True`` the features are L2-normalised first, so the matrix
+    captures the *relative* geometry of the batch independently of the feature
+    scale — teacher and student features live in different spaces, and without
+    this the softened distributions of Eq. 6 would be dominated by whichever
+    network produces larger activations.
+    """
+    if normalize:
+        features = F.normalize(features, axis=-1)
+    return F.pairwise_squared_distances(features)
+
+
+def adversarial_debiasing_distillation_loss(student_features: Tensor,
+                                            teacher_features: Tensor,
+                                            temperature: float = 1.0,
+                                            normalize: bool = True) -> Tensor:
+    """ADD loss (Eq. 6): match row-wise softened correlation distributions.
+
+    ``teacher_features`` is detached — the unbiased teacher is frozen during
+    distillation (Section V-A).  The negated distance matrices are softened so
+    that *similar* pairs receive high probability mass, matching the intuition
+    that the transferred knowledge is "which samples the teacher considers
+    close to each other".
+    """
+    if student_features.shape[0] != teacher_features.shape[0]:
+        raise ValueError("student and teacher must encode the same mini-batch")
+    if student_features.shape[0] < 2:
+        raise ValueError("ADD needs at least two samples to form a correlation matrix")
+    student_matrix = -correlation_matrix(student_features, normalize=normalize)
+    teacher_matrix = -correlation_matrix(teacher_features.detach(), normalize=normalize)
+    return F.distillation_kl(student_matrix, teacher_matrix, temperature=temperature)
+
+
+def domain_knowledge_distillation_loss(student_logits: Tensor,
+                                       teacher_logits: Tensor,
+                                       temperature: float = 4.0) -> Tensor:
+    """DKD loss (Eq. 12): match classifier outputs of clean teacher and student."""
+    if student_logits.shape != teacher_logits.shape:
+        raise ValueError(
+            f"logit shapes differ: student {student_logits.shape} vs teacher {teacher_logits.shape}")
+    return F.distillation_kl(student_logits, teacher_logits, temperature=temperature)
+
+
+def teacher_forward(teacher: FakeNewsDetector, batch: Batch) -> tuple[Tensor, Tensor]:
+    """Run a frozen teacher in eval mode without building a graph.
+
+    Returns ``(logits, features)`` as constant tensors.
+    """
+    was_training = teacher.training
+    teacher.eval()
+    with no_grad():
+        logits, features = teacher.forward_with_features(batch)
+    if was_training:
+        teacher.train()
+    return logits.detach(), features.detach()

@@ -1,0 +1,187 @@
+"""The DTDBD trainer: dual-teacher de-biasing distillation (Algorithm 1).
+
+Pipeline (Section V of the paper):
+
+1. Train the **unbiased teacher** — same architecture as the student — with the
+   DAT-IE loss (:func:`repro.core.dat.train_unbiased_teacher`).
+2. Take a fine-tuned multi-domain detector with a domain-knowledge module
+   (MDFEND or M3FEND) as the **clean teacher**.
+3. Train the student with the weighted sum of the classification loss, the
+   adversarial de-biasing distillation loss against the unbiased teacher, and
+   the domain knowledge distillation loss against the clean teacher (Eq. 13);
+   after every epoch the momentum-based dynamic adjustment updates the weights
+   from the observed change in F1 and bias (Eq. 14–15).
+
+Both teachers are frozen during student training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.callbacks import EpochRecord, TrainingHistory
+from repro.core.dat import DATConfig, train_unbiased_teacher
+from repro.core.distill import (
+    adversarial_debiasing_distillation_loss,
+    domain_knowledge_distillation_loss,
+    teacher_forward,
+)
+from repro.core.momentum import ConstantWeightScheduler, MomentumWeightScheduler
+from repro.core.trainer import Trainer, TrainerConfig, evaluate_model
+from repro.data.loader import DataLoader
+from repro.metrics import EvaluationReport
+from repro.models.base import FakeNewsDetector
+from repro.nn import Adam, CrossEntropyLoss, GradientClipper
+
+
+@dataclass
+class DTDBDConfig:
+    """Hyper-parameters of the dual-teacher distillation stage."""
+
+    epochs: int = 5
+    learning_rate: float = 1e-3
+    #: temperature of the adversarial de-biasing distillation (Eq. 6)
+    add_temperature: float = 1.0
+    #: temperature of the domain knowledge distillation (Eq. 12)
+    dkd_temperature: float = 4.0
+    classification_weight: float = 1.0
+    momentum: float = 0.9
+    initial_weight_add: float = 0.5
+    use_dynamic_adjustment: bool = True
+    use_add: bool = True
+    use_dkd: bool = True
+    max_grad_norm: float = 5.0
+    verbose: bool = False
+
+
+@dataclass
+class DTDBDResult:
+    """Outcome of a full DTDBD run."""
+
+    student: FakeNewsDetector
+    history: TrainingHistory
+    weight_history: list[tuple[float, float]] = field(default_factory=list)
+    test_report: EvaluationReport | None = None
+
+
+class DTDBDTrainer:
+    """Distills a student from an unbiased teacher and a clean teacher."""
+
+    def __init__(self, student: FakeNewsDetector,
+                 unbiased_teacher: FakeNewsDetector | None,
+                 clean_teacher: FakeNewsDetector | None,
+                 config: DTDBDConfig | None = None):
+        self.student = student
+        self.unbiased_teacher = unbiased_teacher
+        self.clean_teacher = clean_teacher
+        self.config = config or DTDBDConfig()
+        if self.config.use_add and unbiased_teacher is None:
+            raise ValueError("ADD is enabled but no unbiased teacher was provided")
+        if self.config.use_dkd and clean_teacher is None:
+            raise ValueError("DKD is enabled but no clean teacher was provided")
+        if unbiased_teacher is not None:
+            unbiased_teacher.freeze()
+            unbiased_teacher.eval()
+        if clean_teacher is not None:
+            clean_teacher.freeze()
+            clean_teacher.eval()
+        self.optimizer = Adam(student.parameters(), lr=self.config.learning_rate)
+        self.clipper = GradientClipper(self.config.max_grad_norm)
+        self.criterion = CrossEntropyLoss()
+        if self.config.use_dynamic_adjustment:
+            self.scheduler = MomentumWeightScheduler(
+                momentum=self.config.momentum,
+                initial_weight_add=self.config.initial_weight_add)
+        else:
+            self.scheduler = ConstantWeightScheduler(self.config.initial_weight_add)
+        self.history = TrainingHistory()
+        self.weight_history: list[tuple[float, float]] = [self.scheduler.weights()]
+
+    # ------------------------------------------------------------------ #
+    def _batch_loss(self, batch) -> tuple:
+        """Overall loss of Eq. 13 for one mini-batch."""
+        weight_add, weight_dkd = self.scheduler.weights()
+        logits, features = self.student.forward_with_features(batch)
+        loss = self.config.classification_weight * self.criterion(logits, batch.labels)
+        components = {"ce": loss.item()}
+        if self.config.use_add and len(batch) >= 2:
+            _, teacher_features = teacher_forward(self.unbiased_teacher, batch)
+            add = adversarial_debiasing_distillation_loss(
+                features, teacher_features, temperature=self.config.add_temperature)
+            loss = loss + weight_add * add
+            components["add"] = add.item()
+        if self.config.use_dkd:
+            teacher_logits, _ = teacher_forward(self.clean_teacher, batch)
+            dkd = domain_knowledge_distillation_loss(
+                logits, teacher_logits, temperature=self.config.dkd_temperature)
+            loss = loss + weight_dkd * dkd
+            components["dkd"] = dkd.item()
+        return loss, logits, components
+
+    def train_epoch(self, loader: DataLoader) -> float:
+        self.student.train()
+        losses = []
+        for batch in loader:
+            self.optimizer.zero_grad()
+            loss, _, _ = self._batch_loss(batch)
+            loss.backward()
+            self.clipper.clip(self.optimizer.parameters)
+            self.optimizer.step()
+            losses.append(loss.item())
+        return float(np.mean(losses)) if losses else 0.0
+
+    def fit(self, train_loader: DataLoader, val_loader: DataLoader | None = None) -> TrainingHistory:
+        for epoch in range(self.config.epochs):
+            train_loss = self.train_epoch(train_loader)
+            record = EpochRecord(epoch=epoch, train_loss=train_loss)
+            if val_loader is not None:
+                report = evaluate_model(self.student, val_loader)
+                record.val_f1 = report.overall_f1
+                record.val_total_bias = report.total
+                record.val_fned = report.fned
+                record.val_fped = report.fped
+                self.scheduler.update(epoch, report.overall_f1, report.total)
+            self.weight_history.append(self.scheduler.weights())
+            record.extras = {"weight_add": self.scheduler.weight_add,
+                             "weight_dkd": self.scheduler.weight_dkd}
+            self.history.append(record)
+            if self.config.verbose:
+                print(f"[DTDBD] epoch {epoch}: loss={train_loss:.4f} "
+                      f"F1={record.val_f1} total={record.val_total_bias} "
+                      f"w_ADD={self.scheduler.weight_add:.2f}")
+        return self.history
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end convenience pipeline                                              #
+# --------------------------------------------------------------------------- #
+def run_dtdbd_pipeline(student: FakeNewsDetector,
+                       unbiased_teacher_backbone: FakeNewsDetector,
+                       clean_teacher: FakeNewsDetector,
+                       train_loader: DataLoader,
+                       val_loader: DataLoader,
+                       test_loader: DataLoader | None = None,
+                       clean_teacher_pretrained: bool = False,
+                       dat_config: DATConfig | None = None,
+                       clean_teacher_config: TrainerConfig | None = None,
+                       dtdbd_config: DTDBDConfig | None = None,
+                       seed: int = 0) -> DTDBDResult:
+    """Run the complete Algorithm 1: train both teachers, then distil the student.
+
+    ``unbiased_teacher_backbone`` must share the student's architecture (the
+    paper sets them identical); ``clean_teacher`` is fine-tuned here unless
+    ``clean_teacher_pretrained`` is True.
+    """
+    unbiased_teacher, _ = train_unbiased_teacher(
+        unbiased_teacher_backbone, train_loader, val_loader,
+        config=dat_config or DATConfig(), seed=seed)
+    if not clean_teacher_pretrained:
+        Trainer(clean_teacher, clean_teacher_config or TrainerConfig()).fit(train_loader, val_loader)
+    trainer = DTDBDTrainer(student, unbiased_teacher, clean_teacher,
+                           config=dtdbd_config or DTDBDConfig())
+    history = trainer.fit(train_loader, val_loader)
+    test_report = evaluate_model(student, test_loader) if test_loader is not None else None
+    return DTDBDResult(student=student, history=history,
+                       weight_history=trainer.weight_history, test_report=test_report)

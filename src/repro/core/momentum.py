@@ -1,0 +1,113 @@
+"""Momentum-based dynamic adjustment of the two teachers' weights (Eq. 13–15).
+
+After every epoch the student is evaluated; the change in performance
+(``delta_f1``) and the change in the bias metric (``delta_bias``, positive when
+Total = FNED + FPED *decreases*) determine how the weight of the adversarial
+de-biasing distillation moves:
+
+``w_ADD(r) = m * w_ADD(r-1) - (1 - m) * (delta_bias - delta_f1)``
+``w_DKD(r) = 1 - w_ADD(r)``
+
+Intuitively: if bias is improving faster than F1, the unbiased teacher has done
+its job for now and weight shifts towards the clean teacher (and vice versa).
+Weights are clamped to ``[minimum, 1 - minimum]`` so neither teacher is ever
+silenced completely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WeightSnapshot:
+    """Weights and the observations that produced them (for logging/tests)."""
+
+    epoch: int
+    weight_add: float
+    weight_dkd: float
+    delta_f1: float = 0.0
+    delta_bias: float = 0.0
+
+
+@dataclass
+class MomentumWeightScheduler:
+    """Implements the momentum-based dynamic adjustment algorithm (DAA)."""
+
+    momentum: float = 0.7
+    initial_weight_add: float = 0.5
+    minimum_weight: float = 0.05
+    history: list[WeightSnapshot] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if not 0.0 < self.minimum_weight < 0.5:
+            raise ValueError("minimum_weight must be in (0, 0.5)")
+        self._weight_add = float(min(max(self.initial_weight_add, self.minimum_weight),
+                                     1.0 - self.minimum_weight))
+        self._previous_f1: float | None = None
+        self._previous_bias: float | None = None
+        self.history.append(WeightSnapshot(epoch=0, weight_add=self._weight_add,
+                                           weight_dkd=1.0 - self._weight_add))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def weight_add(self) -> float:
+        return self._weight_add
+
+    @property
+    def weight_dkd(self) -> float:
+        return 1.0 - self._weight_add
+
+    def weights(self) -> tuple[float, float]:
+        """Current ``(w_ADD, w_DKD)``."""
+        return self.weight_add, self.weight_dkd
+
+    # ------------------------------------------------------------------ #
+    def update(self, epoch: int, f1: float, total_bias: float) -> tuple[float, float]:
+        """Observe the epoch's validation F1 and Total bias; return new weights.
+
+        The first observation only seeds the baselines (the paper starts
+        adjusting "since the second epoch").
+        """
+        if self._previous_f1 is None or self._previous_bias is None:
+            self._previous_f1 = f1
+            self._previous_bias = total_bias
+            self.history.append(WeightSnapshot(epoch=epoch, weight_add=self.weight_add,
+                                               weight_dkd=self.weight_dkd))
+            return self.weights()
+
+        delta_f1 = f1 - self._previous_f1
+        delta_bias = self._previous_bias - total_bias  # positive when bias shrinks
+        updated = (self.momentum * self._weight_add
+                   - (1.0 - self.momentum) * (delta_bias - delta_f1))
+        self._weight_add = float(min(max(updated, self.minimum_weight),
+                                     1.0 - self.minimum_weight))
+        self._previous_f1 = f1
+        self._previous_bias = total_bias
+        self.history.append(WeightSnapshot(epoch=epoch, weight_add=self.weight_add,
+                                           weight_dkd=self.weight_dkd,
+                                           delta_f1=delta_f1, delta_bias=delta_bias))
+        return self.weights()
+
+
+@dataclass
+class ConstantWeightScheduler:
+    """Fixed weights — the "w/o DAA" ablation row of Table VIII."""
+
+    weight_add_value: float = 0.5
+
+    @property
+    def weight_add(self) -> float:
+        return self.weight_add_value
+
+    @property
+    def weight_dkd(self) -> float:
+        return 1.0 - self.weight_add_value
+
+    def weights(self) -> tuple[float, float]:
+        return self.weight_add, self.weight_dkd
+
+    def update(self, epoch: int, f1: float, total_bias: float) -> tuple[float, float]:
+        return self.weights()

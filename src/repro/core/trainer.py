@@ -1,0 +1,124 @@
+"""Generic supervised trainer for the baseline detectors.
+
+All baselines of Tables VI and VII (and the teacher models) are trained with
+this class: Adam, gradient clipping, per-epoch validation with the F1 and
+domain-bias metrics, optional early stopping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.callbacks import EarlyStopping, EpochRecord, TrainingHistory
+from repro.data.loader import DataLoader
+from repro.metrics import EvaluationReport, evaluate_predictions
+from repro.models.base import FakeNewsDetector
+from repro.nn import Adam, GradientClipper
+from repro.tensor import no_grad
+
+
+@dataclass
+class TrainerConfig:
+    """Optimisation hyper-parameters."""
+
+    epochs: int = 5
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    max_grad_norm: float = 5.0
+    early_stopping_patience: int | None = None
+    verbose: bool = False
+
+
+def evaluate_model(model: FakeNewsDetector, loader: DataLoader,
+                   model_name: str | None = None) -> EvaluationReport:
+    """Run ``model`` over ``loader`` (unshuffled) and compute the full report."""
+    predictions: list[np.ndarray] = []
+    labels: list[np.ndarray] = []
+    domains: list[np.ndarray] = []
+    with no_grad():
+        for batch in loader.iter_eval():
+            predictions.append(model.predict(batch))
+            labels.append(batch.labels)
+            domains.append(batch.domains)
+    return evaluate_predictions(
+        np.concatenate(labels), np.concatenate(predictions), np.concatenate(domains),
+        loader.dataset.domain_names, model_name=model_name or model.name)
+
+
+def collect_features(model: FakeNewsDetector, loader: DataLoader,
+                     max_items: int | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract intermediate features for analysis (t-SNE, Figure 2).
+
+    Returns ``(features, labels, domains)`` as NumPy arrays.
+    """
+    feature_blocks: list[np.ndarray] = []
+    labels: list[np.ndarray] = []
+    domains: list[np.ndarray] = []
+    collected = 0
+    was_training = model.training
+    model.eval()
+    with no_grad():
+        for batch in loader.iter_eval():
+            feature_blocks.append(model.extract_features(batch).numpy())
+            labels.append(batch.labels)
+            domains.append(batch.domains)
+            collected += len(batch)
+            if max_items is not None and collected >= max_items:
+                break
+    if was_training:
+        model.train()
+    features = np.concatenate(feature_blocks)[:max_items]
+    return (features,
+            np.concatenate(labels)[:max_items],
+            np.concatenate(domains)[:max_items])
+
+
+class Trainer:
+    """Standard cross-entropy training loop (used for every baseline)."""
+
+    def __init__(self, model: FakeNewsDetector, config: TrainerConfig | None = None):
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate,
+                              weight_decay=self.config.weight_decay)
+        self.clipper = GradientClipper(self.config.max_grad_norm)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    def train_epoch(self, loader: DataLoader) -> float:
+        """One optimisation pass over ``loader``; returns the mean batch loss."""
+        self.model.train()
+        losses: list[float] = []
+        for batch in loader:
+            self.optimizer.zero_grad()
+            loss, _ = self.model.compute_loss(batch)
+            loss.backward()
+            self.clipper.clip(self.optimizer.parameters)
+            self.optimizer.step()
+            losses.append(loss.item())
+        return float(np.mean(losses)) if losses else 0.0
+
+    def fit(self, train_loader: DataLoader, val_loader: DataLoader | None = None) -> TrainingHistory:
+        """Train for ``config.epochs`` epochs, validating after each epoch."""
+        stopper = None
+        if self.config.early_stopping_patience:
+            stopper = EarlyStopping(patience=self.config.early_stopping_patience)
+        for epoch in range(self.config.epochs):
+            train_loss = self.train_epoch(train_loader)
+            record = EpochRecord(epoch=epoch, train_loss=train_loss)
+            if val_loader is not None:
+                report = evaluate_model(self.model, val_loader)
+                record.val_f1 = report.overall_f1
+                record.val_total_bias = report.total
+                record.val_fned = report.fned
+                record.val_fped = report.fped
+            self.history.append(record)
+            if self.config.verbose:
+                bias = f", bias={record.val_total_bias:.3f}" if record.val_total_bias is not None else ""
+                f1 = f", F1={record.val_f1:.3f}" if record.val_f1 is not None else ""
+                print(f"[{self.model.name}] epoch {epoch}: loss={train_loss:.4f}{f1}{bias}")
+            if stopper is not None and record.val_f1 is not None and stopper.update(record.val_f1):
+                break
+        return self.history

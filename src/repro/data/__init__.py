@@ -1,0 +1,35 @@
+"""Data substrate: synthetic corpora, vocabularies, splits and loaders."""
+
+from repro.data.dataset import FAKE_LABEL, REAL_LABEL, MultiDomainNewsDataset, NewsItem
+from repro.data.loader import Batch, DataLoader
+from repro.data.splits import DatasetSplits, stratified_split
+from repro.data.statistics import (
+    DomainStatistics,
+    dataset_statistics_table,
+    domain_statistics,
+    imbalance_summary,
+)
+from repro.data.synthetic import (
+    ENGLISH_DOMAIN_SPECS,
+    WEIBO21_DOMAIN_SPECS,
+    CaseStudyItem,
+    DomainSpec,
+    SyntheticCorpusConfig,
+    SyntheticNewsGenerator,
+    make_case_study_probes,
+    make_english_like,
+    make_weibo21_like,
+)
+from repro.data.tokenizer import CharNGramTokenizer, WhitespaceTokenizer
+from repro.data.vocab import Vocabulary
+
+__all__ = [
+    "NewsItem", "MultiDomainNewsDataset", "REAL_LABEL", "FAKE_LABEL",
+    "Batch", "DataLoader",
+    "DatasetSplits", "stratified_split",
+    "DomainStatistics", "domain_statistics", "dataset_statistics_table", "imbalance_summary",
+    "DomainSpec", "SyntheticCorpusConfig", "SyntheticNewsGenerator", "CaseStudyItem",
+    "WEIBO21_DOMAIN_SPECS", "ENGLISH_DOMAIN_SPECS",
+    "make_weibo21_like", "make_english_like", "make_case_study_probes",
+    "Vocabulary", "WhitespaceTokenizer", "CharNGramTokenizer",
+]

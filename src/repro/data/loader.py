@@ -1,0 +1,108 @@
+"""Batching: :class:`Batch` containers and the :class:`DataLoader`.
+
+The loader encodes the whole dataset once (token ids, mask, labels, domains)
+and optionally precomputes *feature channels* — e.g. the frozen pre-trained
+encoder output, style features or emotion features — so that iterating over
+epochs is just array slicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import MultiDomainNewsDataset, NewsItem
+from repro.data.tokenizer import WhitespaceTokenizer
+from repro.data.vocab import Vocabulary
+from repro.utils import batched_indices
+
+#: A feature extractor receives the news items plus the encoded token ids and
+#: mask, and returns one array with the batch dimension first.
+FeatureExtractor = Callable[[Sequence[NewsItem], np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class Batch:
+    """One mini-batch of encoded news items."""
+
+    token_ids: np.ndarray
+    mask: np.ndarray
+    labels: np.ndarray
+    domains: np.ndarray
+    indices: np.ndarray
+    features: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.token_ids.shape[0])
+
+    def feature(self, name: str) -> np.ndarray:
+        if name not in self.features:
+            raise KeyError(
+                f"batch has no feature channel '{name}'; available: {sorted(self.features)}")
+        return self.features[name]
+
+
+class DataLoader:
+    """Iterates a :class:`MultiDomainNewsDataset` in shuffled mini-batches."""
+
+    def __init__(self, dataset: MultiDomainNewsDataset, vocab: Vocabulary,
+                 max_length: int = 24, batch_size: int = 32, shuffle: bool = True,
+                 seed: int = 0,
+                 feature_extractors: dict[str, FeatureExtractor] | None = None,
+                 tokenizer: WhitespaceTokenizer | None = None):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.vocab = vocab
+        self.max_length = max_length
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+        self._tokenizer = tokenizer or WhitespaceTokenizer()
+
+        self.token_ids, self.mask = dataset.encode(vocab, max_length, tokenizer=self._tokenizer)
+        self.labels = dataset.labels
+        self.domains = dataset.domains
+        self.features: dict[str, np.ndarray] = {}
+        for name, extractor in (feature_extractors or {}).items():
+            values = np.asarray(extractor(dataset.items, self.token_ids, self.mask))
+            if values.shape[0] != len(dataset):
+                raise ValueError(
+                    f"feature extractor '{name}' returned {values.shape[0]} rows "
+                    f"for a dataset of size {len(dataset)}")
+            self.features[name] = values
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(np.ceil(len(self.dataset) / self.batch_size))
+
+    @property
+    def num_domains(self) -> int:
+        return self.dataset.num_domains
+
+    def _slice(self, indices: np.ndarray) -> Batch:
+        return Batch(
+            token_ids=self.token_ids[indices],
+            mask=self.mask[indices],
+            labels=self.labels[indices],
+            domains=self.domains[indices],
+            indices=indices,
+            features={name: values[indices] for name, values in self.features.items()},
+        )
+
+    def __iter__(self) -> Iterator[Batch]:
+        for indices in batched_indices(len(self.dataset), self.batch_size,
+                                       rng=self._rng, shuffle=self.shuffle):
+            yield self._slice(indices)
+
+    def full_batch(self) -> Batch:
+        """Return the entire dataset as a single batch (evaluation helper)."""
+        return self._slice(np.arange(len(self.dataset)))
+
+    def iter_eval(self, batch_size: int | None = None) -> Iterator[Batch]:
+        """Deterministic, unshuffled iteration (for evaluation)."""
+        size = batch_size or self.batch_size
+        for start in range(0, len(self.dataset), size):
+            yield self._slice(np.arange(start, min(start + size, len(self.dataset))))

@@ -1,0 +1,73 @@
+"""Stratified train/validation/test splitting.
+
+Splits are stratified jointly by (domain, label) so that every domain keeps its
+fake/real ratio in every split — the same protocol the MDFEND / M3FEND line of
+work uses for Weibo21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import MultiDomainNewsDataset
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test views of a dataset."""
+
+    train: MultiDomainNewsDataset
+    val: MultiDomainNewsDataset
+    test: MultiDomainNewsDataset
+
+    def sizes(self) -> dict[str, int]:
+        return {"train": len(self.train), "val": len(self.val), "test": len(self.test)}
+
+
+def stratified_split(dataset: MultiDomainNewsDataset, train_fraction: float = 0.7,
+                     val_fraction: float = 0.1, seed: int = 0) -> DatasetSplits:
+    """Split ``dataset`` stratified by (domain, label).
+
+    Every (domain, label) cell is shuffled independently and sliced into
+    train/val/test according to the requested fractions; cells with fewer than
+    three items keep at least one item in train and one in test.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if not 0.0 <= val_fraction < 1.0:
+        raise ValueError("val_fraction must be in [0, 1)")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train_fraction + val_fraction must be < 1")
+
+    rng = np.random.default_rng(seed)
+    labels = dataset.labels
+    domains = dataset.domains
+    train_idx: list[int] = []
+    val_idx: list[int] = []
+    test_idx: list[int] = []
+
+    for domain in range(dataset.num_domains):
+        for label in (0, 1):
+            cell = np.flatnonzero((domains == domain) & (labels == label))
+            if cell.size == 0:
+                continue
+            rng.shuffle(cell)
+            n_train = int(round(train_fraction * cell.size))
+            n_val = int(round(val_fraction * cell.size))
+            n_train = max(1, min(n_train, cell.size - 1))
+            n_val = min(n_val, cell.size - n_train - 1) if cell.size - n_train > 1 else 0
+            n_val = max(0, n_val)
+            train_idx.extend(cell[:n_train].tolist())
+            val_idx.extend(cell[n_train:n_train + n_val].tolist())
+            test_idx.extend(cell[n_train + n_val:].tolist())
+
+    rng.shuffle(train_idx)
+    rng.shuffle(val_idx)
+    rng.shuffle(test_idx)
+    return DatasetSplits(
+        train=dataset.subset(train_idx, name=f"{dataset.name}/train"),
+        val=dataset.subset(val_idx, name=f"{dataset.name}/val"),
+        test=dataset.subset(test_idx, name=f"{dataset.name}/test"),
+    )

@@ -1,0 +1,85 @@
+"""Dataset statistics tables (Table I, Table IV and Table V of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import FAKE_LABEL, MultiDomainNewsDataset
+
+
+@dataclass
+class DomainStatistics:
+    """Counts and ratios for a single domain."""
+
+    name: str
+    fake: int
+    real: int
+
+    @property
+    def total(self) -> int:
+        return self.fake + self.real
+
+    @property
+    def fake_percentage(self) -> float:
+        return 100.0 * self.fake / max(self.total, 1)
+
+
+def domain_statistics(dataset: MultiDomainNewsDataset) -> list[DomainStatistics]:
+    """Per-domain fake/real counts (rows of Table IV / Table V)."""
+    labels = dataset.labels
+    domains = dataset.domains
+    rows = []
+    for index, name in enumerate(dataset.domain_names):
+        mask = domains == index
+        fake = int((labels[mask] == FAKE_LABEL).sum())
+        real = int(mask.sum()) - fake
+        rows.append(DomainStatistics(name=name, fake=fake, real=real))
+    return rows
+
+
+def dataset_statistics_table(dataset: MultiDomainNewsDataset) -> dict:
+    """Full Table-I style summary: %Fake and %News per domain plus averages."""
+    rows = domain_statistics(dataset)
+    total_news = sum(row.total for row in rows)
+    domains = []
+    for row in rows:
+        domains.append({
+            "domain": row.name,
+            "fake": row.fake,
+            "real": row.real,
+            "total": row.total,
+            "pct_fake": round(row.fake_percentage, 1),
+            "pct_news": round(100.0 * row.total / max(total_news, 1), 1),
+        })
+    total_fake = sum(row.fake for row in rows)
+    average = {
+        "pct_fake": round(100.0 * total_fake / max(total_news, 1), 1),
+        "pct_news": round(100.0 / max(len(rows), 1), 1),
+    }
+    return {
+        "dataset": dataset.name,
+        "total": total_news,
+        "total_fake": total_fake,
+        "total_real": total_news - total_fake,
+        "domains": domains,
+        "average": average,
+    }
+
+
+def imbalance_summary(dataset: MultiDomainNewsDataset) -> dict:
+    """Quantify the two imbalances the paper highlights in Section I.
+
+    Returns the spread of the per-domain share of news (%News) and of the
+    per-domain fake ratio (%Fake), i.e. how unbalanced the corpus is.
+    """
+    table = dataset_statistics_table(dataset)
+    news_shares = [row["pct_news"] for row in table["domains"]]
+    fake_ratios = [row["pct_fake"] for row in table["domains"]]
+    return {
+        "news_share_min": min(news_shares),
+        "news_share_max": max(news_shares),
+        "fake_ratio_min": min(fake_ratios),
+        "fake_ratio_max": max(fake_ratios),
+        "news_share_spread": round(max(news_shares) - min(news_shares), 1),
+        "fake_ratio_spread": round(max(fake_ratios) - min(fake_ratios), 1),
+    }

@@ -1,0 +1,88 @@
+"""Vocabulary mapping tokens to integer ids."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+
+class Vocabulary:
+    """Token ↔ id mapping with reserved padding and unknown tokens."""
+
+    PAD_TOKEN = "<pad>"
+    UNK_TOKEN = "<unk>"
+
+    def __init__(self, tokens: Iterable[str] | None = None, min_freq: int = 1,
+                 max_size: int | None = None):
+        self._token_to_id: dict[str, int] = {self.PAD_TOKEN: 0, self.UNK_TOKEN: 1}
+        self._id_to_token: list[str] = [self.PAD_TOKEN, self.UNK_TOKEN]
+        if tokens is not None:
+            self.build(tokens, min_freq=min_freq, max_size=max_size)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    # ------------------------------------------------------------------ #
+    def build(self, tokens: Iterable[str], min_freq: int = 1,
+              max_size: int | None = None) -> "Vocabulary":
+        """Populate the vocabulary from an iterable of tokens."""
+        counts = Counter(tokens)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        for token, count in ranked:
+            if count < min_freq:
+                continue
+            if max_size is not None and len(self._id_to_token) >= max_size:
+                break
+            self.add(token)
+        return self
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[Sequence[str]], min_freq: int = 1,
+                       max_size: int | None = None) -> "Vocabulary":
+        vocab = cls()
+        vocab.build((token for doc in documents for token in doc),
+                    min_freq=min_freq, max_size=max_size)
+        return vocab
+
+    def add(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    # ------------------------------------------------------------------ #
+    def token_to_id(self, token: str) -> int:
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, index: int) -> str:
+        if 0 <= index < len(self._id_to_token):
+            return self._id_to_token[index]
+        return self.UNK_TOKEN
+
+    def encode(self, tokens: Sequence[str], max_length: int | None = None,
+               pad: bool = False) -> list[int]:
+        """Map tokens to ids, optionally truncating and right-padding."""
+        ids = [self.token_to_id(token) for token in tokens]
+        if max_length is not None:
+            ids = ids[:max_length]
+            if pad and len(ids) < max_length:
+                ids = ids + [self.pad_id] * (max_length - len(ids))
+        return ids
+
+    def decode(self, ids: Sequence[int], strip_pad: bool = True) -> list[str]:
+        tokens = [self.id_to_token(int(index)) for index in ids]
+        if strip_pad:
+            tokens = [token for token in tokens if token != self.PAD_TOKEN]
+        return tokens

@@ -1,0 +1,159 @@
+"""Plain-text table formatting for the reproduced experiments.
+
+The formatting mirrors the layout of the paper's tables so that the benchmark
+output can be compared side-by-side with the published numbers.  Everything
+returns a string (and never prints directly) so the callers decide where the
+output goes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bias_analysis import BiasAudit
+from repro.analysis.case_study import CaseStudyRow
+from repro.metrics import EvaluationReport
+from repro.models import display_name
+
+#: method-name → pretty row label for the "Our" rows
+_OUR_ROWS = {"our_md": "Our(MD)", "our_m3": "Our(M3)"}
+
+#: static functional-comparison matrix of Table II (method → capabilities)
+FUNCTIONAL_COMPARISON: dict[str, dict[str, object]] = {
+    "BiGRU": {"single_domain": True, "multi_domain": False, "debiasing": False,
+              "bias_type": None, "datasets": ["Twitter", "Weibo"]},
+    "StyleLSTM": {"single_domain": True, "multi_domain": False, "debiasing": False,
+                  "bias_type": None, "datasets": ["StyleLSTM"]},
+    "DualEmo": {"single_domain": True, "multi_domain": False, "debiasing": False,
+                "bias_type": None, "datasets": ["RumourEval-19", "Weibo-16", "Weibo-20"]},
+    "EANN": {"single_domain": True, "multi_domain": False, "debiasing": False,
+             "bias_type": None, "datasets": ["Twitter", "Weibo"]},
+    "Diachronic Bias Mitigation": {"single_domain": True, "multi_domain": False,
+                                   "debiasing": True, "bias_type": "Diachronic",
+                                   "datasets": ["MultiFC", "Horne17", "Celebrity", "Constraint"]},
+    "EDDFN": {"single_domain": False, "multi_domain": True, "debiasing": False,
+              "bias_type": None, "datasets": ["PolitiFact", "Gossipcop", "CoAID"]},
+    "MDFEND": {"single_domain": False, "multi_domain": True, "debiasing": False,
+               "bias_type": None, "datasets": ["Weibo21"]},
+    "ENDEF": {"single_domain": True, "multi_domain": False, "debiasing": True,
+              "bias_type": "Entity", "datasets": ["Weibo", "GossipCop"]},
+    "M3FEND": {"single_domain": False, "multi_domain": True, "debiasing": False,
+               "bias_type": None,
+               "datasets": ["Weibo21", "Politifact", "Gossipcop", "COVID"]},
+    "DTDBD (ours)": {"single_domain": False, "multi_domain": True, "debiasing": True,
+                     "bias_type": "Domain",
+                     "datasets": ["Weibo21", "Politifact", "Gossipcop", "COVID"]},
+}
+
+
+def _row_label(name: str) -> str:
+    return _OUR_ROWS.get(name, display_name(name))
+
+
+def format_comparison_table(reports: dict[str, EvaluationReport], domain_names: list[str],
+                            title: str = "Comparison") -> str:
+    """Format Table VI / VII: per-domain F1 then overall F1, FNED, FPED, Total."""
+    short = [name[:6].capitalize() for name in domain_names]
+    header = ["Method"] + short + ["F1", "FNED", "FPED", "Total"]
+    widths = [max(14, len(header[0]))] + [7] * (len(header) - 1)
+    lines = [title, "-" * (sum(widths) + len(widths))]
+    lines.append(" ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for name, report in reports.items():
+        row = [_row_label(name).ljust(widths[0])]
+        for domain in domain_names:
+            row.append(f"{report.per_domain_f1.get(domain, float('nan')):.4f}".ljust(7))
+        row.append(f"{report.overall_f1:.4f}".ljust(7))
+        row.append(f"{report.fned:.4f}".ljust(7))
+        row.append(f"{report.fped:.4f}".ljust(7))
+        row.append(f"{report.total:.4f}".ljust(7))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def format_compact_table(reports: dict[str, EvaluationReport],
+                         title: str = "Ablation") -> str:
+    """Format Table VIII / IX rows: F1, FNED, FPED, Total only."""
+    header = ["Variant".ljust(20), "F1".ljust(8), "FNED".ljust(8), "FPED".ljust(8), "Total".ljust(8)]
+    lines = [title, "-" * 56, " ".join(header)]
+    for name, report in reports.items():
+        lines.append(" ".join([
+            name.ljust(20),
+            f"{report.overall_f1:.4f}".ljust(8),
+            f"{report.fned:.4f}".ljust(8),
+            f"{report.fped:.4f}".ljust(8),
+            f"{report.total:.4f}".ljust(8),
+        ]))
+    return "\n".join(lines)
+
+
+def format_bias_audit(audit: BiasAudit, title: str = "Table III — domain bias audit") -> str:
+    """Format Table III: FNR / FPR per model per skewed domain."""
+    table = audit.as_table()
+    domains = sorted({row.domain for row in audit.rows})
+    header = ["Model".ljust(12)]
+    for domain in domains:
+        header.append(f"{domain[:8]}-FNR".ljust(13))
+        header.append(f"{domain[:8]}-FPR".ljust(13))
+    lines = [title, "-" * (len(header) * 13), " ".join(header)]
+    for model, values in table.items():
+        row = [display_name(model).ljust(12)]
+        for domain in domains:
+            row.append(f"{values.get(f'{domain}_fnr', 0.0):.4f}".ljust(13))
+            row.append(f"{values.get(f'{domain}_fpr', 0.0):.4f}".ljust(13))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def format_dataset_statistics(table: dict, title: str = "Dataset statistics") -> str:
+    """Format Table I / IV / V from :func:`repro.data.dataset_statistics_table`."""
+    lines = [title, "-" * 64]
+    lines.append(" ".join(["Domain".ljust(15), "Fake".ljust(7), "Real".ljust(7),
+                           "Total".ljust(7), "%Fake".ljust(7), "%News".ljust(7)]))
+    for row in table["domains"]:
+        lines.append(" ".join([
+            str(row["domain"]).ljust(15),
+            str(row["fake"]).ljust(7),
+            str(row["real"]).ljust(7),
+            str(row["total"]).ljust(7),
+            f"{row['pct_fake']:.1f}".ljust(7),
+            f"{row['pct_news']:.1f}".ljust(7),
+        ]))
+    lines.append(f"All: {table['total']} items, {table['total_fake']} fake, "
+                 f"{table['total_real']} real (avg %Fake "
+                 f"{table['average']['pct_fake']:.1f})")
+    return "\n".join(lines)
+
+
+def format_case_study(rows: list[CaseStudyRow], title: str = "Figure 3 — case study") -> str:
+    """Format the case-study probes with each model's probability of the truth."""
+    lines = [title, "-" * 72]
+    for row in rows:
+        truth = "fake" if row.true_label == 1 else "real"
+        lines.append(f"[{row.domain}] true={truth} — {row.description}")
+        for prediction in row.predictions:
+            verdict = "correct" if prediction.correct else "WRONG"
+            lines.append(f"    {prediction.model.ljust(10)} "
+                         f"p(true label)={prediction.probability_true_label:.3f} ({verdict})")
+    return "\n".join(lines)
+
+
+def format_mixing_scores(scores: dict[str, dict], title: str = "Figure 2 — domain mixing") -> str:
+    """Format the quantitative Figure-2 analysis (t-SNE domain-mixing entropy)."""
+    lines = [title, "-" * 48, "Model".ljust(24) + "mixing score"]
+    for name, result in scores.items():
+        lines.append(name.ljust(24) + f"{result['mixing_score']:.4f}")
+    return "\n".join(lines)
+
+
+def format_functional_comparison(title: str = "Table II — functional comparison") -> str:
+    """Format the static capability matrix of Table II."""
+    header = ["Method".ljust(28), "Single".ljust(8), "Multi".ljust(8),
+              "Debias".ljust(8), "BiasType".ljust(12)]
+    lines = [title, "-" * 72, " ".join(header)]
+    for method, caps in FUNCTIONAL_COMPARISON.items():
+        lines.append(" ".join([
+            method.ljust(28),
+            ("yes" if caps["single_domain"] else "-").ljust(8),
+            ("yes" if caps["multi_domain"] else "-").ljust(8),
+            ("yes" if caps["debiasing"] else "-").ljust(8),
+            (str(caps["bias_type"]) if caps["bias_type"] else "-").ljust(12),
+        ]))
+    return "\n".join(lines)

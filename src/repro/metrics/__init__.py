@@ -1,0 +1,28 @@
+"""Performance and domain-bias metrics."""
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    macro_f1,
+    precision_recall_f1,
+)
+from repro.metrics.fairness import (
+    DomainBiasReport,
+    domain_bias_report,
+    false_negative_rate,
+    false_positive_rate,
+    fned,
+    fped,
+    satisfies_disparate_mistreatment,
+    total_equality_difference,
+)
+from repro.metrics.report import EvaluationReport, evaluate_predictions
+
+__all__ = [
+    "accuracy", "confusion_matrix", "f1_score", "macro_f1", "precision_recall_f1",
+    "false_negative_rate", "false_positive_rate",
+    "DomainBiasReport", "domain_bias_report",
+    "fned", "fped", "total_equality_difference", "satisfies_disparate_mistreatment",
+    "EvaluationReport", "evaluate_predictions",
+]

@@ -1,0 +1,147 @@
+"""Domain-bias metrics: FNR/FPR per domain, FPED, FNED and Total.
+
+These implement Section VI-A-3 of the paper:
+
+* ``FPED = sum_d |FPR - FPR_d|`` (Eq. 16)
+* ``FNED = sum_d |FNR - FNR_d|`` (Eq. 17)
+* ``Total = FPED + FNED``
+
+together with Definition 3 (domain disparate mistreatment), which holds when
+every pair of domains has (approximately) equal FNR and FPR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import FAKE_LABEL, REAL_LABEL
+
+
+def false_positive_rate(y_true: np.ndarray, y_pred: np.ndarray,
+                        positive_class: int = FAKE_LABEL) -> float:
+    """P(predict positive | actually negative); 0 when there are no negatives."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    negatives = y_true != positive_class
+    if not np.any(negatives):
+        return 0.0
+    return float((y_pred[negatives] == positive_class).mean())
+
+
+def false_negative_rate(y_true: np.ndarray, y_pred: np.ndarray,
+                        positive_class: int = FAKE_LABEL) -> float:
+    """P(predict negative | actually positive); 0 when there are no positives."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    positives = y_true == positive_class
+    if not np.any(positives):
+        return 0.0
+    return float((y_pred[positives] != positive_class).mean())
+
+
+@dataclass
+class DomainBiasReport:
+    """Per-domain error rates plus the aggregated equality differences."""
+
+    domain_names: list[str]
+    fnr_overall: float
+    fpr_overall: float
+    fnr_per_domain: dict[str, float]
+    fpr_per_domain: dict[str, float]
+    fned: float
+    fped: float
+
+    @property
+    def total(self) -> float:
+        return self.fned + self.fped
+
+    def as_dict(self) -> dict:
+        return {
+            "fnr_overall": self.fnr_overall,
+            "fpr_overall": self.fpr_overall,
+            "fnr_per_domain": dict(self.fnr_per_domain),
+            "fpr_per_domain": dict(self.fpr_per_domain),
+            "fned": self.fned,
+            "fped": self.fped,
+            "total": self.total,
+        }
+
+
+def domain_bias_report(y_true: np.ndarray, y_pred: np.ndarray, domains: np.ndarray,
+                       domain_names: list[str]) -> DomainBiasReport:
+    """Compute FNR/FPR per domain and the FNED/FPED equality differences."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    domains = np.asarray(domains)
+    if not (y_true.shape == y_pred.shape == domains.shape):
+        raise ValueError("y_true, y_pred and domains must have identical shapes")
+
+    fnr_overall = false_negative_rate(y_true, y_pred)
+    fpr_overall = false_positive_rate(y_true, y_pred)
+    fnr_per_domain: dict[str, float] = {}
+    fpr_per_domain: dict[str, float] = {}
+    fned = 0.0
+    fped = 0.0
+    for index, name in enumerate(domain_names):
+        mask = domains == index
+        if not np.any(mask):
+            fnr_per_domain[name] = 0.0
+            fpr_per_domain[name] = 0.0
+            continue
+        domain_fnr = false_negative_rate(y_true[mask], y_pred[mask])
+        domain_fpr = false_positive_rate(y_true[mask], y_pred[mask])
+        fnr_per_domain[name] = domain_fnr
+        fpr_per_domain[name] = domain_fpr
+        fned += abs(fnr_overall - domain_fnr)
+        fped += abs(fpr_overall - domain_fpr)
+    return DomainBiasReport(
+        domain_names=list(domain_names),
+        fnr_overall=fnr_overall,
+        fpr_overall=fpr_overall,
+        fnr_per_domain=fnr_per_domain,
+        fpr_per_domain=fpr_per_domain,
+        fned=fned,
+        fped=fped,
+    )
+
+
+def fned(y_true: np.ndarray, y_pred: np.ndarray, domains: np.ndarray,
+         num_domains: int) -> float:
+    """False-negative equality difference (Eq. 17)."""
+    names = [str(i) for i in range(num_domains)]
+    return domain_bias_report(y_true, y_pred, domains, names).fned
+
+
+def fped(y_true: np.ndarray, y_pred: np.ndarray, domains: np.ndarray,
+         num_domains: int) -> float:
+    """False-positive equality difference (Eq. 16)."""
+    names = [str(i) for i in range(num_domains)]
+    return domain_bias_report(y_true, y_pred, domains, names).fped
+
+
+def total_equality_difference(y_true: np.ndarray, y_pred: np.ndarray, domains: np.ndarray,
+                              num_domains: int) -> float:
+    """``FNED + FPED`` — the "Total" column of Tables VI-IX."""
+    names = [str(i) for i in range(num_domains)]
+    report = domain_bias_report(y_true, y_pred, domains, names)
+    return report.total
+
+
+def satisfies_disparate_mistreatment(report: DomainBiasReport, tolerance: float = 0.05) -> bool:
+    """Definition 3: every pair of domains has |FNR_i - FNR_j| and |FPR_i - FPR_j| <= tolerance."""
+    fnr_values = list(report.fnr_per_domain.values())
+    fpr_values = list(report.fpr_per_domain.values())
+    fnr_spread = max(fnr_values) - min(fnr_values) if fnr_values else 0.0
+    fpr_spread = max(fpr_values) - min(fpr_values) if fpr_values else 0.0
+    return fnr_spread <= tolerance and fpr_spread <= tolerance
+
+
+__all__ = [
+    "false_positive_rate", "false_negative_rate",
+    "DomainBiasReport", "domain_bias_report",
+    "fned", "fped", "total_equality_difference",
+    "satisfies_disparate_mistreatment",
+    "REAL_LABEL", "FAKE_LABEL",
+]

@@ -1,0 +1,79 @@
+"""Combined evaluation report: per-domain F1 plus overall F1, FNED, FPED, Total.
+
+This is the row format of Tables VI and VII (and the compact format of
+Tables VIII and IX), produced directly from predictions so every benchmark and
+example shares the same computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.classification import accuracy, macro_f1
+from repro.metrics.fairness import DomainBiasReport, domain_bias_report
+
+
+@dataclass
+class EvaluationReport:
+    """Everything the paper reports for one model on one dataset."""
+
+    model: str
+    overall_f1: float
+    overall_accuracy: float
+    per_domain_f1: dict[str, float]
+    bias: DomainBiasReport
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def fned(self) -> float:
+        return self.bias.fned
+
+    @property
+    def fped(self) -> float:
+        return self.bias.fped
+
+    @property
+    def total(self) -> float:
+        return self.bias.total
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "f1": self.overall_f1,
+            "accuracy": self.overall_accuracy,
+            "per_domain_f1": dict(self.per_domain_f1),
+            "fned": self.fned,
+            "fped": self.fped,
+            "total": self.total,
+            **self.extras,
+        }
+
+    def table_row(self, domain_order: list[str] | None = None) -> list[float]:
+        """Numeric row ``[per-domain F1..., F1, FNED, FPED, Total]``."""
+        order = domain_order or list(self.per_domain_f1)
+        row = [self.per_domain_f1.get(name, float("nan")) for name in order]
+        row.extend([self.overall_f1, self.fned, self.fped, self.total])
+        return row
+
+
+def evaluate_predictions(y_true: np.ndarray, y_pred: np.ndarray, domains: np.ndarray,
+                         domain_names: list[str], model_name: str = "model",
+                         extras: dict | None = None) -> EvaluationReport:
+    """Build an :class:`EvaluationReport` from raw predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    domains = np.asarray(domains)
+    per_domain_f1: dict[str, float] = {}
+    for index, name in enumerate(domain_names):
+        mask = domains == index
+        per_domain_f1[name] = macro_f1(y_true[mask], y_pred[mask]) if np.any(mask) else 0.0
+    return EvaluationReport(
+        model=model_name,
+        overall_f1=macro_f1(y_true, y_pred),
+        overall_accuracy=accuracy(y_true, y_pred),
+        per_domain_f1=per_domain_f1,
+        bias=domain_bias_report(y_true, y_pred, domains, domain_names),
+        extras=extras or {},
+    )

@@ -1,0 +1,28 @@
+"""The fake-news detector zoo: baselines, clean teachers and student networks."""
+
+from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence, pooled_plm
+from repro.models.bert_mlp import BertMLP, RobertaMLP
+from repro.models.bigru import BiGRU, BiGRUStudent
+from repro.models.dual_emotion import DualEmotion
+from repro.models.eann import EANN, EANNNoDAT
+from repro.models.eddfn import EDDFN, EDDFNNoDAT
+from repro.models.m3fend import M3FEND, DomainMemoryBank
+from repro.models.mdfend import MDFEND
+from repro.models.mmoe import MMoE, MoSE
+from repro.models.registry import (
+    DISPLAY_NAMES,
+    available_models,
+    build_model,
+    display_name,
+    register_model,
+)
+from repro.models.style_lstm import StyleLSTM
+from repro.models.textcnn import TextCNN, TextCNNStudent, TextCNNWithEmbedding
+
+__all__ = [
+    "FakeNewsDetector", "ModelConfig", "pooled_plm", "plm_sequence",
+    "BiGRU", "BiGRUStudent", "TextCNN", "TextCNNStudent", "TextCNNWithEmbedding",
+    "BertMLP", "RobertaMLP", "StyleLSTM", "DualEmotion", "MMoE", "MoSE",
+    "EANN", "EANNNoDAT", "EDDFN", "EDDFNNoDAT", "MDFEND", "M3FEND", "DomainMemoryBank",
+    "build_model", "available_models", "register_model", "display_name", "DISPLAY_NAMES",
+]

@@ -1,0 +1,47 @@
+"""Frozen pre-trained encoder + MLP baselines (the paper's BERT and RoBERTa rows).
+
+Both baselines freeze the pre-trained encoder and train only an MLP head on the
+pooled sentence representation.  In this reproduction the frozen encoder is the
+:class:`repro.encoders.FrozenPretrainedEncoder`; the BERT and RoBERTa variants
+differ only in their classification-head capacity, mirroring how close those
+two rows are in the paper's tables.
+"""
+
+from __future__ import annotations
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, pooled_plm
+from repro.nn import Dropout, Linear
+from repro.tensor import Tensor
+from repro.utils import seeded_rng
+
+
+class BertMLP(FakeNewsDetector):
+    """Frozen encoder (BERT stand-in) + MLP classification head."""
+
+    name = "bert"
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = seeded_rng(config.seed)
+        self.projection = Linear(config.plm_dim, config.hidden_dim, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.classifier = self._build_classifier(config.hidden_dim, rng)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.config.hidden_dim
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        return self.dropout(self.projection(pooled_plm(batch)).relu())
+
+
+class RobertaMLP(BertMLP):
+    """RoBERTa row of the paper: same frozen-encoder + MLP recipe, wider head."""
+
+    name = "roberta"
+
+    def __init__(self, config: ModelConfig):
+        wider = config.with_overrides(hidden_dim=max(config.hidden_dim, 64),
+                                      seed=config.seed + 1)
+        super().__init__(wider)

@@ -1,0 +1,37 @@
+"""BiGRU baseline (Ma et al., 2016) and the BiGRU-S student used in ablations."""
+
+from __future__ import annotations
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence
+from repro.nn import GRU, Dropout
+from repro.tensor import Tensor, functional as F
+from repro.utils import seeded_rng
+
+
+class BiGRU(FakeNewsDetector):
+    """Bidirectional GRU over frozen-encoder token features with masked mean pooling."""
+
+    name = "bigru"
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = seeded_rng(config.seed)
+        self.encoder = GRU(config.plm_dim, config.rnn_hidden, bidirectional=True, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.classifier = self._build_classifier(self.encoder.output_dim, rng)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.encoder.output_dim
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        states, _ = self.encoder(plm_sequence(batch))
+        pooled = F.masked_mean(states, batch.mask, axis=1)
+        return self.dropout(pooled)
+
+
+class BiGRUStudent(BiGRU):
+    """BiGRU-S: frozen encoder + one-layer BiGRU + MLP (Table VIII ablation student)."""
+
+    name = "bigru_s"

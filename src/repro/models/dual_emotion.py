@@ -1,0 +1,33 @@
+"""DualEmo baseline (Zhang et al., 2021): BiGRU text encoder + dual-emotion features."""
+
+from __future__ import annotations
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence
+from repro.nn import GRU, Dropout
+from repro.tensor import Tensor, functional as F
+from repro.utils import seeded_rng
+
+
+class DualEmotion(FakeNewsDetector):
+    """BiGRU text representation concatenated with emotion features before the MLP."""
+
+    name = "dualemo"
+    required_features = ("plm", "emotion")
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = seeded_rng(config.seed)
+        self.encoder = GRU(config.plm_dim, config.rnn_hidden, bidirectional=True, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.classifier = self._build_classifier(self.encoder.output_dim + config.emotion_dim, rng)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.encoder.output_dim + self.config.emotion_dim
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        states, _ = self.encoder(plm_sequence(batch))
+        pooled = F.masked_mean(states, batch.mask, axis=1)
+        emotion = Tensor(batch.feature("emotion"))
+        return self.dropout(Tensor.cat([pooled, emotion], axis=1))

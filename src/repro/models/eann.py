@@ -1,0 +1,68 @@
+"""EANN baseline (Wang et al., 2018): event/domain-adversarial feature learning.
+
+EANN couples a TextCNN feature extractor with a fake-news classifier and an
+adversarial domain (event) discriminator connected through a gradient-reversal
+layer, so the extractor is pushed towards domain-invariant features.  The
+``EANNNoDAT`` variant removes the adversarial branch (the "EANN_NoDAT" rows of
+Tables VI and VII).
+"""
+
+from __future__ import annotations
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence
+from repro.nn import Dropout, GradientReversal, MLP, TextCNNEncoder
+from repro.tensor import Tensor
+from repro.utils import seeded_rng
+
+
+class EANN(FakeNewsDetector):
+    """TextCNN features + label classifier + gradient-reversed domain discriminator."""
+
+    name = "eann"
+
+    def __init__(self, config: ModelConfig, adversarial_weight: float = 1.0,
+                 use_adversary: bool = True):
+        super().__init__(config)
+        rng = seeded_rng(config.seed)
+        self.encoder = TextCNNEncoder(config.plm_dim, kernel_sizes=config.kernel_sizes,
+                                      channels=config.cnn_channels, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.classifier = self._build_classifier(self.encoder.output_dim, rng)
+        self.use_adversary = use_adversary
+        self.adversarial_weight = adversarial_weight
+        if use_adversary:
+            self.gradient_reversal = GradientReversal(1.0)
+            self.domain_classifier = MLP([self.encoder.output_dim, config.hidden_dim],
+                                         config.num_domains, dropout=config.dropout, rng=rng)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.encoder.output_dim
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        return self.dropout(self.encoder(plm_sequence(batch)))
+
+    def domain_logits(self, features: Tensor) -> Tensor:
+        if not self.use_adversary:
+            raise RuntimeError("this EANN variant has no domain discriminator")
+        return self.domain_classifier(self.gradient_reversal(features))
+
+    def compute_loss(self, batch: Batch) -> tuple[Tensor, Tensor]:
+        logits, features = self.forward_with_features(batch)
+        loss = self._criterion(logits, batch.labels)
+        if self.use_adversary:
+            from repro.tensor import functional as F
+
+            domain_loss = F.cross_entropy(self.domain_logits(features), batch.domains)
+            loss = loss + self.adversarial_weight * domain_loss
+        return loss, logits
+
+
+class EANNNoDAT(EANN):
+    """EANN without the domain-adversarial branch."""
+
+    name = "eann_nodat"
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config, use_adversary=False)

@@ -1,0 +1,78 @@
+"""EDDFN baseline (Silva et al., 2021): domain-specific + cross-domain knowledge.
+
+EDDFN keeps two feature branches — a *shared* (cross-domain) branch trained
+adversarially against a domain discriminator and a *specific* (intra-domain)
+branch trained to predict the domain — and classifies news from their
+concatenation.  ``EDDFNNoDAT`` removes the adversarial part of the shared
+branch (the "EDDFN_NoDAT" rows of Tables VI and VII).
+"""
+
+from __future__ import annotations
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, pooled_plm
+from repro.nn import Dropout, GradientReversal, Linear, MLP, ReLU, Sequential
+from repro.tensor import Tensor, functional as F
+from repro.utils import seeded_rng
+
+
+class EDDFN(FakeNewsDetector):
+    """Shared/specific dual-branch detector with a domain adversary on the shared branch."""
+
+    name = "eddfn"
+
+    def __init__(self, config: ModelConfig, adversarial_weight: float = 1.0,
+                 specific_weight: float = 0.5, use_adversary: bool = True):
+        super().__init__(config)
+        rng = seeded_rng(config.seed)
+        hidden = config.hidden_dim
+        self.shared_encoder = Sequential(Linear(config.plm_dim, hidden, rng=rng), ReLU(),
+                                         Linear(hidden, hidden, rng=rng), ReLU())
+        self.specific_encoder = Sequential(Linear(config.plm_dim, hidden, rng=rng), ReLU(),
+                                           Linear(hidden, hidden, rng=rng), ReLU())
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.classifier = self._build_classifier(2 * hidden, rng)
+        self.use_adversary = use_adversary
+        self.adversarial_weight = adversarial_weight
+        self.specific_weight = specific_weight
+        self.specific_domain_head = MLP([hidden, hidden], config.num_domains,
+                                        dropout=config.dropout, rng=rng)
+        if use_adversary:
+            self.gradient_reversal = GradientReversal(1.0)
+            self.shared_domain_head = MLP([hidden, hidden], config.num_domains,
+                                          dropout=config.dropout, rng=rng)
+
+    @property
+    def feature_dim(self) -> int:
+        return 2 * self.config.hidden_dim
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        pooled = pooled_plm(batch)
+        shared = self.shared_encoder(pooled)
+        specific = self.specific_encoder(pooled)
+        return self.dropout(Tensor.cat([shared, specific], axis=1))
+
+    def compute_loss(self, batch: Batch) -> tuple[Tensor, Tensor]:
+        pooled = pooled_plm(batch)
+        shared = self.shared_encoder(pooled)
+        specific = self.specific_encoder(pooled)
+        features = self.dropout(Tensor.cat([shared, specific], axis=1))
+        logits = self.classify(features)
+        loss = self._criterion(logits, batch.labels)
+        # Intra-domain knowledge: the specific branch must recognise its domain.
+        specific_domain = F.cross_entropy(self.specific_domain_head(specific), batch.domains)
+        loss = loss + self.specific_weight * specific_domain
+        if self.use_adversary:
+            shared_domain = F.cross_entropy(
+                self.shared_domain_head(self.gradient_reversal(shared)), batch.domains)
+            loss = loss + self.adversarial_weight * shared_domain
+        return loss, logits
+
+
+class EDDFNNoDAT(EDDFN):
+    """EDDFN without the adversarial objective on the shared branch."""
+
+    name = "eddfn_nodat"
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config, use_adversary=False)

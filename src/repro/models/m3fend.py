@@ -1,0 +1,119 @@
+"""M3FEND baseline (Zhu et al., 2022): memory-guided multi-view multi-domain detection.
+
+M3FEND is the strongest clean teacher in the paper.  It builds three views of a
+news item — semantics (convolutional encoder), emotion and style (handcrafted
+features) — and a **domain memory bank** holding one memory vector per domain.
+The similarity between a sample's semantic representation and each domain
+memory yields a *soft (fuzzy) domain-label distribution* which gates a set of
+domain adapters (experts).  The memory bank is updated with an exponential
+moving average of the training samples of each domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence
+from repro.nn import Dropout, Linear, ModuleList, ReLU, Sequential, TextCNNEncoder
+from repro.tensor import Tensor, functional as F
+from repro.utils import spawn_rngs
+
+
+class DomainMemoryBank:
+    """Per-domain memory vectors updated with an exponential moving average."""
+
+    def __init__(self, num_domains: int, dim: int, momentum: float = 0.9, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.momentum = momentum
+        self.memory = rng.standard_normal((num_domains, dim)) * 0.1
+
+    def update(self, features: np.ndarray, domains: np.ndarray) -> None:
+        """EMA-update each domain memory with the mean feature of its samples."""
+        for domain in np.unique(domains):
+            domain_mean = features[domains == domain].mean(axis=0)
+            self.memory[domain] = (self.momentum * self.memory[domain]
+                                   + (1.0 - self.momentum) * domain_mean)
+
+    def soft_domain_labels(self, features: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+        """Softmax similarity of every feature to every domain memory."""
+        # Negative squared distance as similarity.
+        diff = features[:, None, :] - self.memory[None, :, :]
+        similarity = -np.sum(diff * diff, axis=2) / max(temperature, 1e-8)
+        similarity -= similarity.max(axis=1, keepdims=True)
+        exp = np.exp(similarity)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+
+class M3FEND(FakeNewsDetector):
+    """Multi-view encoder + domain memory bank + gated domain adapters."""
+
+    name = "m3fend"
+    required_features = ("plm", "style", "emotion")
+
+    def __init__(self, config: ModelConfig, memory_momentum: float = 0.9,
+                 memory_temperature: float = 4.0):
+        super().__init__(config)
+        rngs = spawn_rngs(config.seed + 53, config.num_experts + 5)
+        self.semantic_encoder = TextCNNEncoder(config.plm_dim, kernel_sizes=config.kernel_sizes,
+                                               channels=config.cnn_channels, rng=rngs[-1])
+        semantic_dim = self.semantic_encoder.output_dim
+        self.emotion_encoder = Sequential(
+            Linear(config.emotion_dim, config.hidden_dim // 2, rng=rngs[-2]), ReLU())
+        self.style_encoder = Sequential(
+            Linear(config.style_dim, config.hidden_dim // 2, rng=rngs[-3]), ReLU())
+        view_dim = semantic_dim + config.hidden_dim
+        self.adapters = ModuleList([
+            Sequential(Linear(view_dim, config.hidden_dim, rng=rngs[i]), ReLU(),
+                       Linear(config.hidden_dim, config.hidden_dim, rng=rngs[i]))
+            for i in range(config.num_experts)
+        ])
+        self.adapter_gate = Linear(config.num_domains, config.num_experts, rng=rngs[-4])
+        self.dropout = Dropout(config.dropout, rng=rngs[-5])
+        self.classifier = self._build_classifier(config.hidden_dim, rngs[-5])
+        self.memory = DomainMemoryBank(config.num_domains, semantic_dim,
+                                       momentum=memory_momentum, seed=config.seed + 97)
+        self.memory_temperature = memory_temperature
+
+    @property
+    def feature_dim(self) -> int:
+        return self.config.hidden_dim
+
+    # ------------------------------------------------------------------ #
+    # The domain memory bank is learned state (EMA of training features), so it
+    # must survive checkpointing together with the parameters.
+    def state_dict(self):
+        state = super().state_dict()
+        state["memory.memory"] = self.memory.memory.copy()
+        return state
+
+    def load_state_dict(self, state, strict: bool = True) -> None:
+        state = dict(state)
+        memory = state.pop("memory.memory", None)
+        super().load_state_dict(state, strict=strict)
+        if memory is not None:
+            self.memory.memory = np.asarray(memory, dtype=np.float64).copy()
+
+    # ------------------------------------------------------------------ #
+    def _views(self, batch: Batch) -> tuple[Tensor, Tensor]:
+        semantic = self.semantic_encoder(plm_sequence(batch))
+        emotion = self.emotion_encoder(Tensor(batch.feature("emotion")))
+        style = self.style_encoder(Tensor(batch.feature("style")))
+        return semantic, Tensor.cat([semantic, emotion, style], axis=1)
+
+    def soft_domain_distribution(self, batch: Batch) -> np.ndarray:
+        """Fuzzy domain labels from the memory bank (used by analyses and tests)."""
+        semantic, _ = self._views(batch)
+        return self.memory.soft_domain_labels(semantic.detach().numpy(),
+                                              temperature=self.memory_temperature)
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        semantic, combined = self._views(batch)
+        soft_domains = self.memory.soft_domain_labels(semantic.detach().numpy(),
+                                                      temperature=self.memory_temperature)
+        gate_weights = F.softmax(self.adapter_gate(Tensor(soft_domains)), axis=-1)
+        adapter_outputs = Tensor.stack([adapter(combined) for adapter in self.adapters], axis=1)
+        mixed = (adapter_outputs * gate_weights.unsqueeze(2)).sum(axis=1)
+        if self.training:
+            self.memory.update(semantic.detach().numpy(), np.asarray(batch.domains))
+        return self.dropout(mixed)

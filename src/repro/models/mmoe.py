@@ -1,0 +1,67 @@
+"""Multi-gate mixture-of-experts baselines: MMoE (MLP experts) and MoSE (LSTM experts)."""
+
+from __future__ import annotations
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence, pooled_plm
+from repro.nn import LSTM, Dropout, ExpertGate, Linear, ModuleList, Sequential, ReLU
+from repro.tensor import Tensor, functional as F
+from repro.utils import seeded_rng, spawn_rngs
+
+
+class MMoE(FakeNewsDetector):
+    """Multi-gate mixture of MLP experts over the pooled frozen-encoder features."""
+
+    name = "mmoe"
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rngs = spawn_rngs(config.seed, config.num_experts + 2)
+        self.experts = ModuleList([
+            Sequential(Linear(config.plm_dim, config.expert_hidden, rng=rngs[i]), ReLU(),
+                       Linear(config.expert_hidden, config.expert_hidden, rng=rngs[i]))
+            for i in range(config.num_experts)
+        ])
+        self.gate = ExpertGate(config.plm_dim, config.num_experts, rng=rngs[-2])
+        self.dropout = Dropout(config.dropout, rng=rngs[-1])
+        self.classifier = self._build_classifier(config.expert_hidden, rngs[-1])
+
+    @property
+    def feature_dim(self) -> int:
+        return self.config.expert_hidden
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        pooled = pooled_plm(batch)
+        expert_outputs = Tensor.stack([expert(pooled) for expert in self.experts], axis=1)
+        weights = self.gate(pooled).unsqueeze(2)  # (batch, experts, 1)
+        mixed = (expert_outputs * weights).sum(axis=1)
+        return self.dropout(mixed)
+
+
+class MoSE(FakeNewsDetector):
+    """Mixture of sequential (LSTM) experts; otherwise identical to MMoE."""
+
+    name = "mose"
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rngs = spawn_rngs(config.seed + 17, config.num_experts + 2)
+        self.experts = ModuleList([
+            LSTM(config.plm_dim, config.expert_hidden, bidirectional=False, rng=rngs[i])
+            for i in range(config.num_experts)
+        ])
+        self.gate = ExpertGate(config.plm_dim, config.num_experts, rng=rngs[-2])
+        self.dropout = Dropout(config.dropout, rng=rngs[-1])
+        self.classifier = self._build_classifier(config.expert_hidden, rngs[-1])
+
+    @property
+    def feature_dim(self) -> int:
+        return self.config.expert_hidden
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        sequence = plm_sequence(batch)
+        pooled = F.masked_mean(sequence, batch.mask, axis=1)
+        expert_outputs = Tensor.stack([expert(sequence)[1] for expert in self.experts], axis=1)
+        weights = self.gate(pooled).unsqueeze(2)
+        mixed = (expert_outputs * weights).sum(axis=1)
+        return self.dropout(mixed)

@@ -1,0 +1,88 @@
+"""Model registry: build any detector of the zoo by name.
+
+The benchmark harness reproduces Tables VI and VII by iterating over these
+names, so the registry is the single place that maps the paper's method names
+to implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.base import FakeNewsDetector, ModelConfig
+from repro.models.bert_mlp import BertMLP, RobertaMLP
+from repro.models.bigru import BiGRU, BiGRUStudent
+from repro.models.dual_emotion import DualEmotion
+from repro.models.eann import EANN, EANNNoDAT
+from repro.models.eddfn import EDDFN, EDDFNNoDAT
+from repro.models.m3fend import M3FEND
+from repro.models.mdfend import MDFEND
+from repro.models.mmoe import MMoE, MoSE
+from repro.models.style_lstm import StyleLSTM
+from repro.models.textcnn import TextCNN, TextCNNStudent
+
+_REGISTRY: dict[str, type[FakeNewsDetector]] = {
+    "bigru": BiGRU,
+    "bigru_s": BiGRUStudent,
+    "textcnn": TextCNN,
+    "textcnn_s": TextCNNStudent,
+    "bert": BertMLP,
+    "roberta": RobertaMLP,
+    "stylelstm": StyleLSTM,
+    "dualemo": DualEmotion,
+    "mmoe": MMoE,
+    "mose": MoSE,
+    "eann": EANN,
+    "eann_nodat": EANNNoDAT,
+    "eddfn": EDDFN,
+    "eddfn_nodat": EDDFNNoDAT,
+    "mdfend": MDFEND,
+    "m3fend": M3FEND,
+}
+
+#: Display names used when printing the paper's tables.
+DISPLAY_NAMES: dict[str, str] = {
+    "bigru": "BiGRU",
+    "bigru_s": "BiGRU-S",
+    "textcnn": "TextCNN",
+    "textcnn_s": "TextCNN-S",
+    "bert": "BERT",
+    "roberta": "RoBERTa",
+    "stylelstm": "StyleLSTM",
+    "dualemo": "DualEmo",
+    "mmoe": "MMoE",
+    "mose": "MoSE",
+    "eann": "EANN",
+    "eann_nodat": "EANN_NoDAT",
+    "eddfn": "EDDFN",
+    "eddfn_nodat": "EDDFN_NoDAT",
+    "mdfend": "MDFEND",
+    "m3fend": "M3FEND",
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+def register_model(name: str, factory: type[FakeNewsDetector]) -> None:
+    """Register a custom detector class under ``name`` (for user extensions)."""
+    if name in _REGISTRY:
+        raise ValueError(f"model name '{name}' is already registered")
+    _REGISTRY[name] = factory
+
+
+def build_model(name: str, config: ModelConfig, **kwargs) -> FakeNewsDetector:
+    """Instantiate the detector registered under ``name`` with ``config``."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model '{name}'; available: {available_models()}")
+    return _REGISTRY[key](config, **kwargs)
+
+
+def display_name(name: str) -> str:
+    return DISPLAY_NAMES.get(name.lower(), name)
+
+
+ModelFactory = Callable[[ModelConfig], FakeNewsDetector]

@@ -1,0 +1,33 @@
+"""StyleLSTM baseline (Przybyla, 2020): BiLSTM text encoder + writing-style features."""
+
+from __future__ import annotations
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence
+from repro.nn import LSTM, Dropout
+from repro.tensor import Tensor, functional as F
+from repro.utils import seeded_rng
+
+
+class StyleLSTM(FakeNewsDetector):
+    """Bidirectional LSTM whose pooled states are concatenated with style features."""
+
+    name = "stylelstm"
+    required_features = ("plm", "style")
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = seeded_rng(config.seed)
+        self.encoder = LSTM(config.plm_dim, config.rnn_hidden, bidirectional=True, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.classifier = self._build_classifier(self.encoder.output_dim + config.style_dim, rng)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.encoder.output_dim + self.config.style_dim
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        states, _ = self.encoder(plm_sequence(batch))
+        pooled = F.masked_mean(states, batch.mask, axis=1)
+        style = Tensor(batch.feature("style"))
+        return self.dropout(Tensor.cat([pooled, style], axis=1))

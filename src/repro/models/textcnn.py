@@ -1,0 +1,82 @@
+"""TextCNN baseline and the TextCNN-S / TextCNN-U student network.
+
+The paper's student ("TextCNN-S", also referred to as TextCNN-U in the
+experiments) encodes frozen BERT layer-11 activations with five convolution
+kernels (sizes 1, 2, 3, 5) of 64 channels each followed by an MLP classifier.
+The plain TextCNN baseline additionally uses a kernel of size 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Batch
+from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence
+from repro.nn import Dropout, TextCNNEncoder
+from repro.tensor import Tensor
+from repro.utils import seeded_rng
+
+
+class TextCNN(FakeNewsDetector):
+    """Kim (2014) convolutional classifier over frozen-encoder token features."""
+
+    name = "textcnn"
+
+    def __init__(self, config: ModelConfig, kernel_sizes: tuple[int, ...] | None = None):
+        super().__init__(config)
+        rng = seeded_rng(config.seed)
+        kernels = kernel_sizes if kernel_sizes is not None else (*config.kernel_sizes, 10)
+        # Kernels longer than the padded sequence would be invalid; the loader
+        # always pads to max_length, so only kernels <= max_length make sense —
+        # the caller controls that through the config.
+        self.encoder = TextCNNEncoder(config.plm_dim, kernel_sizes=kernels,
+                                      channels=config.cnn_channels, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.classifier = self._build_classifier(self.encoder.output_dim, rng)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.encoder.output_dim
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        return self.dropout(self.encoder(plm_sequence(batch)))
+
+
+class TextCNNStudent(TextCNN):
+    """TextCNN-S: the student network distilled by DTDBD (kernels 1, 2, 3, 5)."""
+
+    name = "textcnn_s"
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config, kernel_sizes=config.kernel_sizes)
+
+
+class TextCNNWithEmbedding(FakeNewsDetector):
+    """TextCNN over a trainable token-embedding table (no frozen encoder).
+
+    Used for ablations on the input representation; reads the ``token_ids``
+    channel instead of the frozen ``plm`` features.
+    """
+
+    name = "textcnn_embedding"
+    required_features: tuple[str, ...] = ()
+
+    def __init__(self, config: ModelConfig, vocab_size: int, embed_dim: int = 32):
+        super().__init__(config)
+        from repro.nn import Embedding  # local import to keep base deps minimal
+
+        rng = seeded_rng(config.seed)
+        self.embedding = Embedding(vocab_size, embed_dim, padding_idx=0, rng=rng)
+        self.encoder = TextCNNEncoder(embed_dim, kernel_sizes=config.kernel_sizes,
+                                      channels=config.cnn_channels, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.classifier = self._build_classifier(self.encoder.output_dim, rng)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.encoder.output_dim
+
+    def extract_features(self, batch: Batch) -> Tensor:
+        embedded = self.embedding(np.asarray(batch.token_ids))
+        masked = embedded * Tensor(batch.mask[..., None])
+        return self.dropout(self.encoder(masked))

@@ -1,0 +1,39 @@
+"""Neural-network layers, losses and optimisers on the NumPy autograd engine."""
+
+from repro.nn.module import Module, ModuleList, Sequential
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.conv import Conv1d, GlobalMaxPool1d, GlobalMeanPool1d, TextCNNEncoder
+from repro.nn.recurrent import GRU, GRUCell, LSTM, LSTMCell
+from repro.nn.attention import AttentionPooling, ExpertGate
+from repro.nn.grl import GradientReversal, gradient_reversal
+from repro.nn.losses import (
+    BCEWithLogitsLoss,
+    CrossEntropyLoss,
+    KLDistillationLoss,
+    MSELoss,
+)
+from repro.nn.optim import SGD, Adam, GradientClipper, Optimizer, StepLR
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "Module", "ModuleList", "Sequential",
+    "Linear", "Embedding", "Dropout", "LayerNorm", "MLP",
+    "ReLU", "Tanh", "Sigmoid", "GELU",
+    "Conv1d", "GlobalMaxPool1d", "GlobalMeanPool1d", "TextCNNEncoder",
+    "GRU", "GRUCell", "LSTM", "LSTMCell",
+    "AttentionPooling", "ExpertGate",
+    "GradientReversal", "gradient_reversal",
+    "CrossEntropyLoss", "BCEWithLogitsLoss", "MSELoss", "KLDistillationLoss",
+    "Optimizer", "SGD", "Adam", "GradientClipper", "StepLR",
+    "save_checkpoint", "load_checkpoint",
+]

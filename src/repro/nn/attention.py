@@ -1,0 +1,49 @@
+"""Attention pooling used by the multi-expert models (MDFEND / M3FEND)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+class AttentionPooling(Module):
+    """Additive attention pooling over ``(batch, seq, features)``.
+
+    Each time step is scored by a small MLP; a masked softmax turns the scores
+    into weights and the output is the weighted sum of the step features.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int = 32,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.score_hidden = Linear(input_dim, hidden_dim, rng=rng)
+        self.score_out = Linear(hidden_dim, 1, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        scores = self.score_out(self.score_hidden(x).tanh())  # (batch, seq, 1)
+        scores = scores.squeeze(2)
+        if mask is not None:
+            penalty = (1.0 - np.asarray(mask, dtype=np.float64)) * -1e9
+            scores = scores + Tensor(penalty)
+        weights = F.softmax(scores, axis=1).unsqueeze(2)
+        return (x * weights).sum(axis=1)
+
+
+class ExpertGate(Module):
+    """Softmax gate producing mixture weights over ``num_experts`` experts.
+
+    MDFEND feeds the domain embedding (and optionally a sentence summary) into
+    the gate; MMoE/MoSE feed only the input summary.
+    """
+
+    def __init__(self, input_dim: int, num_experts: int, hidden_dim: int = 32,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.hidden = Linear(input_dim, hidden_dim, rng=rng)
+        self.out = Linear(hidden_dim, num_experts, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(self.out(self.hidden(x).relu()), axis=-1)

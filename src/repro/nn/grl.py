@@ -1,0 +1,40 @@
+"""Gradient reversal layer for domain adversarial training (Ganin, 2015).
+
+During the forward pass the layer is the identity; during the backward pass it
+multiplies the incoming gradient by ``-lambda``.  This is the mechanism behind
+DANN, EANN's event discriminator, EDDFN's domain adversary, and the unbiased
+teacher's DAT / DAT-IE training in the DTDBD paper.
+"""
+
+from __future__ import annotations
+
+from repro.tensor import Tensor
+from repro.nn.module import Module
+
+
+def gradient_reversal(x: Tensor, coefficient: float = 1.0) -> Tensor:
+    """Identity forward, ``-coefficient``-scaled gradient backward."""
+    out = Tensor(x.data, requires_grad=x.requires_grad)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate_grad(-coefficient * grad)
+
+    if out.requires_grad:
+        out._prev = (x,)
+        out._backward = backward
+    return out
+
+
+class GradientReversal(Module):
+    """Module wrapper around :func:`gradient_reversal` with adjustable strength."""
+
+    def __init__(self, coefficient: float = 1.0):
+        super().__init__()
+        self.coefficient = coefficient
+
+    def set_coefficient(self, coefficient: float) -> None:
+        self.coefficient = float(coefficient)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return gradient_reversal(x, self.coefficient)

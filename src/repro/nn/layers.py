@@ -1,0 +1,125 @@
+"""Dense, embedding and normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F, init
+from repro.nn.module import Module, Sequential
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform((in_features, out_features), rng=rng)
+        self.bias = init.zeros((out_features,)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Trainable token-embedding table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 padding_idx: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        self.weight = init.normal((num_embeddings, embedding_dim), std=0.1, rng=rng)
+        if padding_idx is not None:
+            self.weight.data[padding_idx] = 0.0
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+
+class Dropout(Module):
+    """Inverted dropout with a module-local random generator."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = init.ones((normalized_shape,))
+        self.bias = init.zeros((normalized_shape,))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred * ((variance + self.eps) ** -0.5)
+        return normalised * self.weight + self.bias
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid, "gelu": GELU}
+
+
+class MLP(Module):
+    """Multi-layer perceptron used as classification head throughout the paper.
+
+    ``dims`` includes the input dimension and every hidden dimension; the final
+    projection to ``output_dim`` has no activation, matching the usual
+    logits-producing head.
+    """
+
+    def __init__(self, dims: list[int], output_dim: int, dropout: float = 0.2,
+                 activation: str = "relu", rng: np.random.Generator | None = None):
+        super().__init__()
+        if len(dims) < 1:
+            raise ValueError("dims must contain at least the input dimension")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation '{activation}'")
+        layers: list[Module] = []
+        for in_dim, out_dim in zip(dims[:-1], dims[1:]):
+            layers.append(Linear(in_dim, out_dim, rng=rng))
+            layers.append(_ACTIVATIONS[activation]())
+            layers.append(Dropout(dropout, rng=rng))
+        layers.append(Linear(dims[-1], output_dim, rng=rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)

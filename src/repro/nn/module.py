@@ -1,0 +1,196 @@
+"""Base :class:`Module` with parameter registration, modes and state dicts.
+
+This is the PyTorch-style container abstraction that every layer and model in
+the reproduction inherits from.  Parameters are plain :class:`repro.tensor.Tensor`
+objects with ``requires_grad=True``; sub-modules and parameters assigned as
+attributes are registered automatically, which gives us recursive
+``parameters()``, ``train()/eval()``, ``state_dict()`` and ``load_state_dict()``
+for free.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Registration                                                        #
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        elif name in getattr(self, "_parameters", {}):
+            del self._parameters[name]
+        elif name in getattr(self, "_modules", {}):
+            del self._modules[name]
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, tensor: Tensor) -> None:
+        """Explicitly register ``tensor`` as a trainable parameter."""
+        if not tensor.requires_grad:
+            tensor.requires_grad = True
+        self._parameters[name] = tensor
+        object.__setattr__(self, name, tensor)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Store a non-trainable array on the module (e.g. frozen embeddings)."""
+        object.__setattr__(self, name, np.asarray(value))
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[Tensor]:
+        """Return all trainable parameters of this module and its children."""
+        return [tensor for _, tensor in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, tensor in self._parameters.items():
+            if tensor.requires_grad:
+                yield (f"{prefix}{name}", tensor)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Modes and gradients                                                 #
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Stop gradient flow into every parameter (used for frozen teachers)."""
+        for parameter in self.parameters():
+            parameter.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        for _, parameter in self._all_parameters_even_frozen():
+            parameter.requires_grad = True
+        return self
+
+    def _all_parameters_even_frozen(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, tensor in self._parameters.items():
+            yield (f"{prefix}{name}", tensor)
+        for child_name, child in self._modules.items():
+            yield from child._all_parameters_even_frozen(prefix=f"{prefix}{child_name}.")
+
+    # ------------------------------------------------------------------ #
+    # Serialisation                                                       #
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a flat name → array mapping of all parameters (copies)."""
+        state = OrderedDict()
+        for name, tensor in self._all_parameters_even_frozen():
+            state[name] = tensor.data.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        own = dict(self._all_parameters_even_frozen())
+        missing = [name for name in own if name not in state]
+        unexpected = [name for name in state if name not in own]
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={missing}, unexpected={unexpected}")
+        for name, tensor in own.items():
+            if name not in state:
+                continue
+            array = np.asarray(state[name], dtype=tensor.data.dtype)
+            if array.shape != tensor.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {tensor.data.shape}, got {array.shape}")
+            tensor.data = array.copy()
+
+    # ------------------------------------------------------------------ #
+    # Calling                                                             #
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: list[str] = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            self.add_module(name, module)
+            self._order.append(name)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def forward(self, x):
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+
+class ModuleList(Module):
+    """List-like container that registers its entries as sub-modules."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self._order: list[str] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        name = f"item{len(self._order)}"
+        self.add_module(name, module)
+        self._order.append(name)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not called
+        raise RuntimeError("ModuleList is a container and cannot be called directly")

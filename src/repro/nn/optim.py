@@ -1,0 +1,123 @@
+"""Gradient-descent optimisers and learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Optimizer:
+    """Base class: holds a parameter list and implements ``zero_grad``."""
+
+    def __init__(self, parameters: list[Tensor], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = [p for p in parameters if p.requires_grad]
+        if not self.parameters:
+            raise ValueError("optimizer received no trainable parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: list[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            parameter.data = parameter.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: list[Tensor], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class GradientClipper:
+    """Clip the global L2 norm of gradients before an optimiser step."""
+
+    def __init__(self, max_norm: float = 5.0):
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+
+    def clip(self, parameters: list[Tensor]) -> float:
+        grads = [p.grad for p in parameters if p.grad is not None]
+        if not grads:
+            return 0.0
+        total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+        if total > self.max_norm and total > 0:
+            scale = self.max_norm / total
+            for parameter in parameters:
+                if parameter.grad is not None:
+                    parameter.grad = parameter.grad * scale
+        return total
+
+
+class StepLR:
+    """Multiply the optimiser learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10, gamma: float = 0.5):
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr

@@ -1,0 +1,145 @@
+"""Recurrent layers: GRU / LSTM cells and (bi-)directional sequence encoders.
+
+The BiGRU baseline, BiGRU-S student, StyleLSTM and MoSE expert networks in the
+paper are built from these blocks.  Sequences are ``(batch, seq, features)``;
+the encoders return both the per-step hidden states and the final state so
+models can choose max/mean pooling or last-state readout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, init
+from repro.nn.module import Module
+
+
+class GRUCell(Module):
+    """Single gated-recurrent-unit step."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_ih = init.xavier_uniform((input_dim, 3 * hidden_dim), rng=rng)
+        self.weight_hh = init.xavier_uniform((hidden_dim, 3 * hidden_dim), rng=rng)
+        self.bias = init.zeros((3 * hidden_dim,))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        gates_x = x @ self.weight_ih + self.bias
+        gates_h = hidden @ self.weight_hh
+        h = self.hidden_dim
+        reset = (gates_x[:, :h] + gates_h[:, :h]).sigmoid()
+        update = (gates_x[:, h:2 * h] + gates_h[:, h:2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h:] + reset * gates_h[:, 2 * h:]).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+
+class LSTMCell(Module):
+    """Single long short-term memory step."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_ih = init.xavier_uniform((input_dim, 4 * hidden_dim), rng=rng)
+        self.weight_hh = init.xavier_uniform((hidden_dim, 4 * hidden_dim), rng=rng)
+        self.bias = init.zeros((4 * hidden_dim,))
+
+    def forward(self, x: Tensor, hidden: Tensor, cell: Tensor) -> tuple[Tensor, Tensor]:
+        gates = x @ self.weight_ih + hidden @ self.weight_hh + self.bias
+        h = self.hidden_dim
+        input_gate = gates[:, :h].sigmoid()
+        forget_gate = gates[:, h:2 * h].sigmoid()
+        candidate = gates[:, 2 * h:3 * h].tanh()
+        output_gate = gates[:, 3 * h:].sigmoid()
+        new_cell = forget_gate * cell + input_gate * candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+
+def _zero_state(batch: int, hidden_dim: int) -> Tensor:
+    return Tensor(np.zeros((batch, hidden_dim)))
+
+
+class GRU(Module):
+    """Uni- or bi-directional GRU sequence encoder."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, bidirectional: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.bidirectional = bidirectional
+        self.forward_cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        if bidirectional:
+            self.backward_cell = GRUCell(input_dim, hidden_dim, rng=rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.hidden_dim * (2 if self.bidirectional else 1)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Return ``(states, final)``: per-step states and the final state."""
+        batch, seq_len, _ = x.shape
+        forward_states = []
+        state = _zero_state(batch, self.hidden_dim)
+        for step in range(seq_len):
+            state = self.forward_cell(x[:, step, :], state)
+            forward_states.append(state)
+        if not self.bidirectional:
+            stacked = Tensor.stack(forward_states, axis=1)
+            return stacked, forward_states[-1]
+        backward_states = []
+        state = _zero_state(batch, self.hidden_dim)
+        for step in reversed(range(seq_len)):
+            state = self.backward_cell(x[:, step, :], state)
+            backward_states.append(state)
+        backward_states.reverse()
+        merged = [Tensor.cat([f, b], axis=1)
+                  for f, b in zip(forward_states, backward_states)]
+        stacked = Tensor.stack(merged, axis=1)
+        final = Tensor.cat([forward_states[-1], backward_states[0]], axis=1)
+        return stacked, final
+
+
+class LSTM(Module):
+    """Uni- or bi-directional LSTM sequence encoder."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, bidirectional: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.bidirectional = bidirectional
+        self.forward_cell = LSTMCell(input_dim, hidden_dim, rng=rng)
+        if bidirectional:
+            self.backward_cell = LSTMCell(input_dim, hidden_dim, rng=rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.hidden_dim * (2 if self.bidirectional else 1)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        batch, seq_len, _ = x.shape
+        forward_states = []
+        hidden = _zero_state(batch, self.hidden_dim)
+        cell = _zero_state(batch, self.hidden_dim)
+        for step in range(seq_len):
+            hidden, cell = self.forward_cell(x[:, step, :], hidden, cell)
+            forward_states.append(hidden)
+        if not self.bidirectional:
+            stacked = Tensor.stack(forward_states, axis=1)
+            return stacked, forward_states[-1]
+        backward_states = []
+        hidden = _zero_state(batch, self.hidden_dim)
+        cell = _zero_state(batch, self.hidden_dim)
+        for step in reversed(range(seq_len)):
+            hidden, cell = self.backward_cell(x[:, step, :], hidden, cell)
+            backward_states.append(hidden)
+        backward_states.reverse()
+        merged = [Tensor.cat([f, b], axis=1)
+                  for f, b in zip(forward_states, backward_states)]
+        stacked = Tensor.stack(merged, axis=1)
+        final = Tensor.cat([forward_states[-1], backward_states[0]], axis=1)
+        return stacked, final

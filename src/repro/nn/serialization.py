@@ -1,0 +1,23 @@
+"""Saving and loading model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Write a module's full state dict to ``path`` (``.npz`` format)."""
+    state = module.state_dict()
+    # npz keys cannot be empty; parameter names are always non-empty here.
+    np.savez(path, **state)
+
+
+def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True) -> None:
+    """Load a state dict saved by :func:`save_checkpoint` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state, strict=strict)

@@ -1,0 +1,22 @@
+"""NumPy-backed reverse-mode automatic differentiation engine.
+
+This subpackage is the deep-learning substrate for the DTDBD reproduction.
+The original paper uses PyTorch; this environment has no GPU frameworks, so
+``repro.tensor`` provides the minimal but complete tensor/autograd machinery
+that the neural-network layers in :mod:`repro.nn` are built on.
+
+Public API
+----------
+``Tensor``
+    N-dimensional array with reverse-mode autograd.
+``functional``
+    Composite differentiable functions (softmax, cross-entropy, KL, ...).
+``init``
+    Weight initialisation schemes (Xavier/Glorot, Kaiming/He, uniform).
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor import init
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "init"]

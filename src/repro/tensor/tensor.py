@@ -1,0 +1,535 @@
+"""Core autograd :class:`Tensor`.
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations applied
+to it so that gradients can be computed with reverse-mode automatic
+differentiation.  The design follows the familiar define-by-run style of
+PyTorch: every operation returns a new tensor whose ``_backward`` closure knows
+how to propagate gradients to its parents.
+
+Only the operations required by the DTDBD reproduction are implemented, but
+they are implemented fully (broadcasting, N-d matmul, advanced indexing for
+embeddings, stable log-softmax, concatenation, max-pooling, ...) and each
+backward rule is covered by numerical-gradient tests in
+``tests/tensor/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient recording is currently enabled."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` so that it has ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype and np.issubdtype(value.dtype, np.floating):
+            return value.astype(dtype)
+        if not np.issubdtype(value.dtype, np.floating):
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """An N-dimensional array with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward = None
+        self._prev: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Constructors                                                        #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def full(shape: Sequence[int], value: float, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.full(tuple(shape), value, dtype=np.float64), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: np.random.Generator | None = None,
+              requires_grad: bool = False) -> "Tensor":
+        rng = rng if rng is not None else np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def uniform(shape: Sequence[int], low: float = -1.0, high: float = 1.0,
+                rng: np.random.Generator | None = None,
+                requires_grad: bool = False) -> "Tensor":
+        rng = rng if rng is not None else np.random.default_rng()
+        return Tensor(rng.uniform(low, high, size=tuple(shape)), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties                                                    #
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() requires a tensor with exactly one element")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Autograd driver                                                     #
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate gradients from this tensor through the graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self.grad = grad if self.grad is None else self.grad + grad
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def _make(self, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._prev = tuple(p for p in parents if p.requires_grad or p._prev)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic                                                          #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad)
+            if other.requires_grad:
+                other._accumulate_grad(grad)
+
+        return self._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad * other.data)
+            if other.requires_grad:
+                other._accumulate_grad(grad * self.data)
+
+        return self._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad * exponent * self.data ** (exponent - 1.0))
+
+        return self._make(data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = np.matmul(self.data, other.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    grad_self = np.multiply.outer(grad, other.data) if self.data.ndim > 1 \
+                        else grad * other.data
+                else:
+                    grad_self = np.matmul(grad, np.swapaxes(other.data, -1, -2))
+                self._accumulate_grad(grad_self)
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.multiply.outer(self.data, grad)
+                else:
+                    grad_other = np.matmul(np.swapaxes(self.data, -1, -2), grad)
+                other._accumulate_grad(grad_other)
+
+        return self._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions                                                          #
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            if axis is None:
+                expanded = np.broadcast_to(grad, self.data.shape)
+            else:
+                grad_local = grad
+                if not keepdims:
+                    grad_local = np.expand_dims(grad_local, axis=axis)
+                expanded = np.broadcast_to(grad_local, self.data.shape)
+            self._accumulate_grad(expanded)
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(self.data.dtype)
+                mask /= mask.sum()
+                self._accumulate_grad(mask * grad)
+                return
+            grad_local = grad
+            max_local = data
+            if not keepdims:
+                grad_local = np.expand_dims(grad_local, axis=axis)
+                max_local = np.expand_dims(max_local, axis=axis)
+            mask = (self.data == max_local).astype(self.data.dtype)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate_grad(mask * grad_local)
+
+        return self._make(data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------ #
+    # Element-wise non-linearities                                        #
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad * data)
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad / self.data)
+
+        return self._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad * (1.0 - data ** 2))
+
+        return self._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = np.where(self.data >= 0,
+                        1.0 / (1.0 + np.exp(-self.data)),
+                        np.exp(self.data) / (1.0 + np.exp(self.data)))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad * data * (1.0 - data))
+
+        return self._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad * (self.data > 0.0))
+
+        return self._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad * np.sign(self.data))
+
+        return self._make(data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+
+        def backward(grad):
+            if self.requires_grad:
+                mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
+                self._accumulate_grad(grad * mask)
+
+        return self._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation                                                  #
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad.reshape(self.data.shape))
+
+        return self._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate_grad(grad.transpose(inverse))
+
+        return self._make(data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def squeeze(self, axis: int | None = None) -> "Tensor":
+        new_shape = list(self.data.shape)
+        if axis is None:
+            new_shape = [s for s in new_shape if s != 1]
+        else:
+            if new_shape[axis] != 1:
+                raise ValueError("cannot squeeze a dimension that is not 1")
+            new_shape.pop(axis)
+        return self.reshape(tuple(new_shape))
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        new_shape = list(self.data.shape)
+        axis = axis if axis >= 0 else axis + self.data.ndim + 1
+        new_shape.insert(axis, 1)
+        return self.reshape(tuple(new_shape))
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate_grad(full)
+
+        return self._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Combination helpers                                                 #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def cat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate_grad(grad[tuple(slicer)])
+
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._prev = tuple(tensors)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        return Tensor.cat([t.unsqueeze(axis) for t in tensors], axis=axis)
+
+    @staticmethod
+    def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
+        a = Tensor._coerce(a)
+        b = Tensor._coerce(b)
+        cond = np.asarray(condition, dtype=bool)
+        data = np.where(cond, a.data, b.data)
+
+        def backward(grad):
+            if a.requires_grad:
+                a._accumulate_grad(grad * cond)
+            if b.requires_grad:
+                b._accumulate_grad(grad * (~cond))
+
+        return a._make(data, (a, b), backward)
+
+    # ------------------------------------------------------------------ #
+    # Comparison helpers (no gradient, returned as numpy arrays)          #
+    # ------------------------------------------------------------------ #
+    def argmax(self, axis: int | None = None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __gt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Functional alias for :meth:`Tensor.cat`."""
+    return Tensor.cat(list(tensors), axis=axis)

@@ -1,0 +1,63 @@
+"""Small shared utilities: seeding, timing and batching helpers."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+def seeded_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a NumPy random generator; every experiment threads one of these."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed (for sub-modules)."""
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def batched_indices(n: int, batch_size: int, rng: np.random.Generator | None = None,
+                    shuffle: bool = True, drop_last: bool = False) -> Iterator[np.ndarray]:
+    """Yield index batches over ``range(n)``."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(n)
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng()
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        batch = order[start:start + batch_size]
+        if drop_last and batch.shape[0] < batch_size:
+            return
+        yield batch
+
+
+@contextmanager
+def timer():
+    """Context manager yielding a callable that returns elapsed seconds."""
+    start = time.perf_counter()
+    elapsed = {"seconds": 0.0}
+
+    def read() -> float:
+        return elapsed["seconds"] if elapsed["seconds"] else time.perf_counter() - start
+
+    try:
+        yield read
+    finally:
+        elapsed["seconds"] = time.perf_counter() - start
+
+
+def moving_average(values: Sequence[float], window: int = 3) -> list[float]:
+    """Simple trailing moving average used by training-history smoothing."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    output: list[float] = []
+    for index in range(len(values)):
+        start = max(0, index - window + 1)
+        chunk = values[start:index + 1]
+        output.append(float(np.mean(chunk)))
+    return output

@@ -1,0 +1,83 @@
+"""t-SNE projection and the domain-mixing score (Figure 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import domain_mixing_score, feature_domain_mixing, tsne
+
+
+def _two_clusters(n_per_cluster: int = 30, separation: float = 12.0, dim: int = 8, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n_per_cluster, dim))
+    b = rng.standard_normal((n_per_cluster, dim)) + separation
+    features = np.vstack([a, b])
+    labels = np.array([0] * n_per_cluster + [1] * n_per_cluster)
+    return features, labels
+
+
+class TestTsne:
+    def test_output_shape(self):
+        features, _ = _two_clusters(20)
+        embedding = tsne(features, iterations=80, seed=0)
+        assert embedding.shape == (40, 2)
+        assert np.isfinite(embedding).all()
+
+    def test_separated_clusters_remain_separated(self):
+        features, labels = _two_clusters(25, separation=25.0)
+        embedding = tsne(features, iterations=200, seed=0)
+        centroid_a = embedding[labels == 0].mean(axis=0)
+        centroid_b = embedding[labels == 1].mean(axis=0)
+        spread = max(embedding[labels == 0].std(), embedding[labels == 1].std())
+        assert np.linalg.norm(centroid_a - centroid_b) > spread
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_deterministic_given_seed(self):
+        features, _ = _two_clusters(15)
+        a = tsne(features, iterations=50, seed=3)
+        b = tsne(features, iterations=50, seed=3)
+        np.testing.assert_allclose(a, b)
+
+
+class TestDomainMixingScore:
+    def test_separated_domains_score_low(self):
+        features, labels = _two_clusters(30, separation=30.0, dim=2)
+        score = domain_mixing_score(features, labels, k=8)
+        assert score < 0.2
+
+    def test_fully_mixed_domains_score_high(self):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((80, 2))
+        labels = rng.integers(0, 2, 80)
+        score = domain_mixing_score(features, labels, k=10)
+        assert score > 0.6
+
+    def test_score_bounded(self):
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((40, 2))
+        labels = rng.integers(0, 4, 40)
+        assert 0.0 <= domain_mixing_score(features, labels, k=5) <= 1.0
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            domain_mixing_score(np.zeros((5, 2)), np.zeros(5), k=10)
+
+
+class TestFeatureDomainMixing:
+    def test_subsamples_and_reports(self):
+        features, labels = _two_clusters(40, separation=1.0)
+        result = feature_domain_mixing(features, labels, max_points=30, k=5,
+                                       tsne_iterations=40)
+        assert result["embedding"].shape[0] == 30
+        assert 0.0 <= result["mixing_score"] <= 1.0
+
+    def test_mixed_scores_higher_than_separated(self):
+        separated, labels = _two_clusters(30, separation=40.0)
+        mixed, _ = _two_clusters(30, separation=0.0)
+        score_separated = feature_domain_mixing(separated, labels, tsne_iterations=80,
+                                                seed=1)["mixing_score"]
+        score_mixed = feature_domain_mixing(mixed, labels, tsne_iterations=80,
+                                            seed=1)["mixing_score"]
+        assert score_mixed > score_separated

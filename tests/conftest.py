@@ -1,0 +1,105 @@
+"""Shared fixtures: tiny corpora, loaders and model configs for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    MultiDomainNewsDataset,
+    NewsItem,
+    make_weibo21_like,
+    stratified_split,
+)
+from repro.encoders import (
+    FrozenPretrainedEncoder,
+    emotion_feature_extractor,
+    style_feature_extractor,
+)
+from repro.models import ModelConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> MultiDomainNewsDataset:
+    """A small but fully populated Weibo21-like corpus (9 domains)."""
+    return make_weibo21_like(scale=0.04, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_dataset):
+    return stratified_split(tiny_dataset, train_fraction=0.6, val_fraction=0.1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_vocab(tiny_splits):
+    return tiny_splits.train.build_vocabulary()
+
+
+@pytest.fixture(scope="session")
+def tiny_encoder(tiny_vocab):
+    return FrozenPretrainedEncoder(len(tiny_vocab), output_dim=16, seed=3)
+
+
+@pytest.fixture(scope="session")
+def feature_extractors(tiny_encoder):
+    return {
+        "plm": tiny_encoder.as_feature_extractor(),
+        "style": style_feature_extractor,
+        "emotion": emotion_feature_extractor,
+    }
+
+
+def _loader(split, vocab, extractors, shuffle):
+    return DataLoader(split, vocab, max_length=16, batch_size=16, shuffle=shuffle,
+                      seed=0, feature_extractors=extractors)
+
+
+@pytest.fixture(scope="session")
+def train_loader(tiny_splits, tiny_vocab, feature_extractors):
+    return _loader(tiny_splits.train, tiny_vocab, feature_extractors, shuffle=True)
+
+
+@pytest.fixture(scope="session")
+def val_loader(tiny_splits, tiny_vocab, feature_extractors):
+    return _loader(tiny_splits.val, tiny_vocab, feature_extractors, shuffle=False)
+
+
+@pytest.fixture(scope="session")
+def test_loader(tiny_splits, tiny_vocab, feature_extractors):
+    return _loader(tiny_splits.test, tiny_vocab, feature_extractors, shuffle=False)
+
+
+@pytest.fixture(scope="session")
+def sample_batch(train_loader):
+    return next(iter(train_loader))
+
+
+@pytest.fixture(scope="session")
+def model_config(tiny_dataset) -> ModelConfig:
+    """Small model configuration matching the tiny loaders (plm_dim=16)."""
+    return ModelConfig(plm_dim=16, num_domains=tiny_dataset.num_domains,
+                       cnn_channels=8, kernel_sizes=(1, 2, 3), rnn_hidden=8,
+                       hidden_dim=16, mlp_hidden=(16,), num_experts=3,
+                       expert_hidden=12, domain_embedding_dim=6, seed=5)
+
+
+@pytest.fixture
+def manual_dataset() -> MultiDomainNewsDataset:
+    """A hand-written 2-domain dataset with known counts for metric tests."""
+    items = []
+    texts_a = ["alpha beta fake", "alpha beta real", "alpha gamma fake", "alpha delta real"]
+    labels_a = [1, 0, 1, 0]
+    texts_b = ["omega beta fake", "omega real item", "omega another real"]
+    labels_b = [1, 0, 0]
+    for i, (text, label) in enumerate(zip(texts_a, labels_a)):
+        items.append(NewsItem(text=text, label=label, domain=0, domain_name="sports", item_id=i))
+    for i, (text, label) in enumerate(zip(texts_b, labels_b)):
+        items.append(NewsItem(text=text, label=label, domain=1, domain_name="tech",
+                              item_id=10 + i))
+    return MultiDomainNewsDataset(items, ["sports", "tech"], name="manual")

@@ -1,0 +1,86 @@
+"""Domain adversarial training (DAT) and the DAT-IE variant."""
+
+import numpy as np
+import pytest
+
+from repro.core import DATConfig, DomainAdversarialModel, train_dat_student, train_unbiased_teacher
+from repro.core.trainer import evaluate_model
+from repro.models import build_model
+from repro.tensor import functional as F
+
+
+class TestDATConfig:
+    def test_beta_is_fraction_of_alpha(self):
+        config = DATConfig(alpha=2.0, beta_ratio=0.2)
+        assert config.beta == pytest.approx(0.4)
+
+    def test_defaults_use_information_entropy(self):
+        assert DATConfig().use_information_entropy
+
+
+class TestDomainAdversarialModel:
+    def test_wrapper_delegates_prediction(self, model_config, sample_batch):
+        backbone = build_model("textcnn_s", model_config)
+        wrapper = DomainAdversarialModel(backbone, model_config.num_domains)
+        assert wrapper.feature_dim == backbone.feature_dim
+        np.testing.assert_allclose(wrapper.predict_proba(sample_batch),
+                                   backbone.predict_proba(sample_batch))
+        assert wrapper.name.endswith("+dat")
+
+    def test_domain_probabilities_are_distributions(self, model_config, sample_batch):
+        backbone = build_model("textcnn_s", model_config)
+        wrapper = DomainAdversarialModel(backbone, model_config.num_domains)
+        probs = wrapper.domain_probabilities(wrapper.extract_features(sample_batch))
+        np.testing.assert_allclose(probs.numpy().sum(axis=1), 1.0, atol=1e-9)
+
+    def test_dat_ie_loss_contains_three_terms(self, model_config, sample_batch):
+        backbone = build_model("textcnn_s", model_config)
+        with_ie = DomainAdversarialModel(backbone, model_config.num_domains,
+                                         config=DATConfig(alpha=1.0, use_information_entropy=True))
+        without_ie = DomainAdversarialModel(backbone, model_config.num_domains,
+                                            config=DATConfig(alpha=1.0,
+                                                             use_information_entropy=False))
+        backbone.eval()  # make dropout deterministic so the comparison is exact
+        loss_ie, _ = with_ie.compute_loss(sample_batch)
+        loss_plain, _ = without_ie.compute_loss(sample_batch)
+        # The information-entropy term is negative (its minimum favours uniform
+        # domain predictions), so the DAT-IE loss must differ from plain DAT.
+        assert loss_ie.item() != pytest.approx(loss_plain.item())
+
+    def test_backward_reaches_backbone_and_domain_head(self, model_config, sample_batch):
+        backbone = build_model("textcnn_s", model_config)
+        wrapper = DomainAdversarialModel(backbone, model_config.num_domains)
+        loss, _ = wrapper.compute_loss(sample_batch)
+        loss.backward()
+        assert any(p.grad is not None for p in backbone.parameters())
+        assert any(p.grad is not None for p in wrapper.domain_classifier.parameters())
+
+
+class TestTraining:
+    def test_train_unbiased_teacher_returns_backbone_in_eval(self, model_config,
+                                                             train_loader, val_loader):
+        backbone = build_model("textcnn_s", model_config)
+        teacher, history = train_unbiased_teacher(
+            backbone, train_loader, val_loader,
+            config=DATConfig(epochs=2, learning_rate=2e-3))
+        assert teacher is backbone
+        assert not teacher.training
+        assert len(history) == 2
+        assert history.records[-1].val_f1 is not None
+
+    def test_train_dat_student_variants(self, model_config, train_loader, test_loader):
+        for use_ie in (False, True):
+            backbone = build_model("textcnn_s", model_config.with_overrides(seed=7 + use_ie))
+            model, _ = train_dat_student(backbone, train_loader, None,
+                                         use_information_entropy=use_ie, epochs=2)
+            report = evaluate_model(model, test_loader)
+            assert 0.0 <= report.overall_f1 <= 1.0
+
+    def test_adversarial_training_learns_label_signal(self, model_config,
+                                                      train_loader, test_loader):
+        backbone = build_model("textcnn_s", model_config)
+        before = evaluate_model(backbone, test_loader).overall_f1
+        train_unbiased_teacher(backbone, train_loader, None,
+                               config=DATConfig(epochs=3, learning_rate=2e-3))
+        after = evaluate_model(backbone, test_loader).overall_f1
+        assert after > before

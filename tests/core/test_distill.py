@@ -1,0 +1,119 @@
+"""Adversarial de-biasing distillation and domain knowledge distillation losses."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    adversarial_debiasing_distillation_loss,
+    correlation_matrix,
+    domain_knowledge_distillation_loss,
+    teacher_forward,
+)
+from repro.models import build_model
+from repro.tensor import Tensor
+
+
+class TestCorrelationMatrix:
+    def test_shape_and_symmetry(self):
+        features = Tensor(np.random.default_rng(0).standard_normal((8, 5)))
+        matrix = correlation_matrix(features).numpy()
+        assert matrix.shape == (8, 8)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-10)
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-10)
+
+    def test_normalisation_bounds_distances(self):
+        features = Tensor(np.random.default_rng(0).standard_normal((6, 4)) * 100)
+        matrix = correlation_matrix(features, normalize=True).numpy()
+        assert matrix.max() <= 4.0 + 1e-9
+
+    def test_unnormalised_keeps_scale(self):
+        features = Tensor(np.random.default_rng(0).standard_normal((6, 4)) * 100)
+        matrix = correlation_matrix(features, normalize=False).numpy()
+        assert matrix.max() > 4.0
+
+
+class TestADDLoss:
+    def test_zero_when_student_equals_teacher(self):
+        features = Tensor(np.random.default_rng(0).standard_normal((10, 6)))
+        loss = adversarial_debiasing_distillation_loss(features, features.copy())
+        assert loss.item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_positive_when_geometry_differs(self):
+        rng = np.random.default_rng(0)
+        student = Tensor(rng.standard_normal((10, 6)))
+        teacher = Tensor(rng.standard_normal((10, 6)))
+        assert adversarial_debiasing_distillation_loss(student, teacher).item() > 0
+
+    def test_invariant_to_teacher_scale(self):
+        rng = np.random.default_rng(1)
+        student = Tensor(rng.standard_normal((8, 4)))
+        teacher = Tensor(rng.standard_normal((8, 4)))
+        loss_a = adversarial_debiasing_distillation_loss(student, teacher).item()
+        loss_b = adversarial_debiasing_distillation_loss(student, teacher * 50.0).item()
+        assert loss_a == pytest.approx(loss_b, rel=1e-6)
+
+    def test_gradient_only_to_student(self):
+        rng = np.random.default_rng(2)
+        student = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+        teacher = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+        adversarial_debiasing_distillation_loss(student, teacher).backward()
+        assert student.grad is not None
+        assert teacher.grad is None
+
+    def test_batch_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            adversarial_debiasing_distillation_loss(Tensor(np.zeros((4, 3))),
+                                                    Tensor(np.zeros((5, 3))))
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(ValueError):
+            adversarial_debiasing_distillation_loss(Tensor(np.zeros((1, 3))),
+                                                    Tensor(np.zeros((1, 3))))
+
+    def test_minimising_loss_matches_teacher_geometry(self):
+        """Gradient descent on ADD alone should pull the student's pairwise
+        geometry towards the teacher's."""
+        rng = np.random.default_rng(3)
+        student = Tensor(rng.standard_normal((12, 4)), requires_grad=True)
+        teacher = Tensor(rng.standard_normal((12, 4)))
+        initial = adversarial_debiasing_distillation_loss(student, teacher).item()
+        for _ in range(100):
+            student.zero_grad()
+            loss = adversarial_debiasing_distillation_loss(student, teacher)
+            loss.backward()
+            student.data = student.data - 1.0 * student.grad
+        final = adversarial_debiasing_distillation_loss(student, teacher).item()
+        assert final < initial * 0.5
+
+
+class TestDKDLoss:
+    def test_zero_for_identical_logits(self):
+        logits = Tensor(np.random.default_rng(0).standard_normal((7, 2)))
+        assert domain_knowledge_distillation_loss(logits, logits.copy()).item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            domain_knowledge_distillation_loss(Tensor(np.zeros((3, 2))), Tensor(np.zeros((3, 3))))
+
+    def test_temperature_softens(self):
+        student = Tensor(np.array([[4.0, -4.0]]))
+        teacher = Tensor(np.array([[-4.0, 4.0]]))
+        hard = domain_knowledge_distillation_loss(student, teacher, temperature=1.0).item()
+        # The tau^2 factor compensates the softening, so just check both finite
+        soft = domain_knowledge_distillation_loss(student, teacher, temperature=10.0).item()
+        assert np.isfinite(hard) and np.isfinite(soft)
+        assert hard != pytest.approx(soft)
+
+
+class TestTeacherForward:
+    def test_returns_detached_constants(self, model_config, sample_batch):
+        teacher = build_model("mdfend", model_config)
+        logits, features = teacher_forward(teacher, sample_batch)
+        assert not logits.requires_grad and not features.requires_grad
+        assert logits.shape == (len(sample_batch), 2)
+
+    def test_restores_training_mode(self, model_config, sample_batch):
+        teacher = build_model("bert", model_config)
+        teacher.train()
+        teacher_forward(teacher, sample_batch)
+        assert teacher.training

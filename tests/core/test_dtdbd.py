@@ -1,0 +1,120 @@
+"""The DTDBD trainer and the end-to-end Algorithm-1 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DATConfig,
+    DTDBDConfig,
+    DTDBDTrainer,
+    TrainerConfig,
+    Trainer,
+    evaluate_model,
+    run_dtdbd_pipeline,
+    train_unbiased_teacher,
+)
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def teachers(model_config, train_loader):
+    """A quickly-trained unbiased teacher and clean teacher shared by the tests."""
+    unbiased = build_model("textcnn_s", model_config.with_overrides(seed=21))
+    train_unbiased_teacher(unbiased, train_loader, None,
+                           config=DATConfig(epochs=2, learning_rate=2e-3))
+    clean = build_model("mdfend", model_config.with_overrides(seed=22))
+    Trainer(clean, TrainerConfig(epochs=2, learning_rate=2e-3)).fit(train_loader)
+    return unbiased, clean
+
+
+class TestDTDBDTrainerConstruction:
+    def test_requires_teachers_for_enabled_losses(self, model_config, teachers):
+        unbiased, clean = teachers
+        student = build_model("textcnn_s", model_config)
+        with pytest.raises(ValueError):
+            DTDBDTrainer(student, None, clean, DTDBDConfig(use_add=True))
+        with pytest.raises(ValueError):
+            DTDBDTrainer(student, unbiased, None, DTDBDConfig(use_dkd=True))
+
+    def test_teachers_are_frozen(self, model_config, teachers):
+        unbiased, clean = teachers
+        student = build_model("textcnn_s", model_config)
+        DTDBDTrainer(student, unbiased, clean, DTDBDConfig(epochs=1))
+        assert unbiased.parameters() == []
+        assert clean.parameters() == []
+
+    def test_constant_scheduler_when_daa_disabled(self, model_config, teachers):
+        unbiased, clean = teachers
+        student = build_model("textcnn_s", model_config)
+        trainer = DTDBDTrainer(student, unbiased, clean,
+                               DTDBDConfig(epochs=1, use_dynamic_adjustment=False,
+                                           initial_weight_add=0.4))
+        assert trainer.scheduler.weights() == (0.4, 0.6)
+
+
+class TestDTDBDTraining:
+    def test_fit_records_history_and_weights(self, model_config, teachers,
+                                             train_loader, val_loader):
+        unbiased, clean = teachers
+        student = build_model("textcnn_s", model_config.with_overrides(seed=31))
+        trainer = DTDBDTrainer(student, unbiased, clean,
+                               DTDBDConfig(epochs=2, learning_rate=2e-3))
+        history = trainer.fit(train_loader, val_loader)
+        assert len(history) == 2
+        assert len(trainer.weight_history) == 3
+        for add, dkd in trainer.weight_history:
+            assert add + dkd == pytest.approx(1.0)
+        assert all("weight_add" in record.extras for record in history)
+
+    def test_student_learns_under_distillation(self, model_config, teachers,
+                                                train_loader, test_loader):
+        unbiased, clean = teachers
+        student = build_model("textcnn_s", model_config.with_overrides(seed=32))
+        before = evaluate_model(student, test_loader).overall_f1
+        DTDBDTrainer(student, unbiased, clean,
+                     DTDBDConfig(epochs=3, learning_rate=2e-3)).fit(train_loader)
+        after = evaluate_model(student, test_loader).overall_f1
+        assert after > before
+
+    def test_teacher_weights_unchanged_by_distillation(self, model_config, teachers,
+                                                       train_loader):
+        unbiased, clean = teachers
+        unbiased_before = unbiased.state_dict()
+        clean_before = clean.state_dict()
+        student = build_model("textcnn_s", model_config.with_overrides(seed=33))
+        DTDBDTrainer(student, unbiased, clean,
+                     DTDBDConfig(epochs=1, learning_rate=2e-3)).fit(train_loader)
+        for key, value in unbiased.state_dict().items():
+            np.testing.assert_allclose(value, unbiased_before[key])
+        for key, value in clean.state_dict().items():
+            np.testing.assert_allclose(value, clean_before[key])
+
+    def test_ablation_modes_run(self, model_config, teachers, train_loader):
+        unbiased, clean = teachers
+        for kwargs in ({"use_add": False}, {"use_dkd": False},
+                       {"use_dynamic_adjustment": False}):
+            student = build_model("textcnn_s", model_config.with_overrides(seed=40))
+            trainer = DTDBDTrainer(student,
+                                   None if kwargs.get("use_add") is False else unbiased,
+                                   None if kwargs.get("use_dkd") is False else clean,
+                                   DTDBDConfig(epochs=1, learning_rate=2e-3, **kwargs))
+            history = trainer.fit(train_loader)
+            assert np.isfinite(history.train_losses[0])
+
+
+class TestPipeline:
+    def test_run_dtdbd_pipeline_end_to_end(self, model_config, train_loader,
+                                           val_loader, test_loader):
+        student = build_model("textcnn_s", model_config.with_overrides(seed=50))
+        unbiased_backbone = build_model("textcnn_s", model_config.with_overrides(seed=51))
+        clean = build_model("mdfend", model_config.with_overrides(seed=52))
+        result = run_dtdbd_pipeline(
+            student, unbiased_backbone, clean,
+            train_loader, val_loader, test_loader,
+            dat_config=DATConfig(epochs=1, learning_rate=2e-3),
+            clean_teacher_config=TrainerConfig(epochs=1, learning_rate=2e-3),
+            dtdbd_config=DTDBDConfig(epochs=1, learning_rate=2e-3))
+        assert result.test_report is not None
+        assert result.student is student
+        assert len(result.weight_history) >= 1
+        assert 0.0 <= result.test_report.overall_f1 <= 1.0

@@ -1,0 +1,70 @@
+"""Momentum-based dynamic adjustment algorithm (Eq. 13-15)."""
+
+import pytest
+
+from repro.core import ConstantWeightScheduler, MomentumWeightScheduler
+
+
+class TestMomentumWeightScheduler:
+    def test_initial_weights_sum_to_one(self):
+        scheduler = MomentumWeightScheduler(initial_weight_add=0.6)
+        add, dkd = scheduler.weights()
+        assert add == pytest.approx(0.6)
+        assert add + dkd == pytest.approx(1.0)
+
+    def test_first_update_only_seeds_baselines(self):
+        scheduler = MomentumWeightScheduler(initial_weight_add=0.5)
+        add, _ = scheduler.update(0, f1=0.8, total_bias=1.0)
+        assert add == pytest.approx(0.5)
+
+    def test_bias_improvement_shifts_towards_clean_teacher(self):
+        scheduler = MomentumWeightScheduler(momentum=0.5, initial_weight_add=0.5)
+        scheduler.update(0, f1=0.8, total_bias=1.0)
+        add_before = scheduler.weight_add
+        # bias improved a lot, F1 unchanged -> (delta_bias - delta_f1) > 0 -> w_ADD drops
+        add_after, _ = scheduler.update(1, f1=0.8, total_bias=0.4)
+        assert add_after < add_before
+
+    def test_f1_improvement_shifts_towards_unbiased_teacher(self):
+        improving = MomentumWeightScheduler(momentum=0.5, initial_weight_add=0.5)
+        stagnant = MomentumWeightScheduler(momentum=0.5, initial_weight_add=0.5)
+        improving.update(0, f1=0.5, total_bias=1.0)
+        stagnant.update(0, f1=0.5, total_bias=1.0)
+        add_improving, _ = improving.update(1, f1=0.9, total_bias=1.0)
+        add_stagnant, _ = stagnant.update(1, f1=0.5, total_bias=1.0)
+        # F1 improved, bias unchanged -> (delta_bias - delta_f1) < 0, so the
+        # unbiased teacher keeps more weight than under pure momentum decay.
+        assert add_improving > add_stagnant
+
+    def test_weights_always_sum_to_one_and_clamped(self):
+        scheduler = MomentumWeightScheduler(momentum=0.0, initial_weight_add=0.5,
+                                            minimum_weight=0.1)
+        scheduler.update(0, f1=0.5, total_bias=1.0)
+        for epoch in range(1, 10):
+            add, dkd = scheduler.update(epoch, f1=0.5, total_bias=1.0 - 0.5 * epoch)
+            assert add + dkd == pytest.approx(1.0)
+            assert 0.1 <= add <= 0.9
+
+    def test_history_snapshots(self):
+        scheduler = MomentumWeightScheduler()
+        scheduler.update(0, f1=0.5, total_bias=1.0)
+        scheduler.update(1, f1=0.6, total_bias=0.9)
+        assert len(scheduler.history) == 3
+        last = scheduler.history[-1]
+        assert last.delta_f1 == pytest.approx(0.1)
+        assert last.delta_bias == pytest.approx(0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MomentumWeightScheduler(momentum=1.0)
+        with pytest.raises(ValueError):
+            MomentumWeightScheduler(minimum_weight=0.6)
+
+
+class TestConstantWeightScheduler:
+    def test_update_never_changes_weights(self):
+        scheduler = ConstantWeightScheduler(weight_add_value=0.3)
+        assert scheduler.weights() == (0.3, 0.7)
+        scheduler.update(0, f1=0.1, total_bias=5.0)
+        scheduler.update(1, f1=0.9, total_bias=0.1)
+        assert scheduler.weights() == (0.3, 0.7)

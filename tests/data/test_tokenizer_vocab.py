@@ -1,0 +1,85 @@
+"""Tokenizers and the vocabulary."""
+
+import pytest
+
+from repro.data import CharNGramTokenizer, Vocabulary, WhitespaceTokenizer
+
+
+class TestWhitespaceTokenizer:
+    def test_basic_split(self):
+        assert WhitespaceTokenizer()("Hello  WORLD foo") == ["hello", "world", "foo"]
+
+    def test_no_lowercase(self):
+        assert WhitespaceTokenizer(lowercase=False)("Hello World") == ["Hello", "World"]
+
+    def test_max_length(self):
+        assert WhitespaceTokenizer(max_length=2)("a b c d") == ["a", "b"]
+
+    def test_empty_string(self):
+        assert WhitespaceTokenizer()("") == []
+
+
+class TestCharNGramTokenizer:
+    def test_trigram(self):
+        assert CharNGramTokenizer(n=3)("abcd") == ["abc", "bcd"]
+
+    def test_short_text(self):
+        assert CharNGramTokenizer(n=5)("ab") == ["ab"]
+        assert CharNGramTokenizer(n=3)("") == []
+
+    def test_whitespace_removed(self):
+        assert CharNGramTokenizer(n=2)("a b") == ["ab"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            CharNGramTokenizer(n=0)
+
+
+class TestVocabulary:
+    def test_reserved_tokens(self):
+        vocab = Vocabulary()
+        assert len(vocab) == 2
+        assert vocab.pad_id == 0 and vocab.unk_id == 1
+        assert vocab.id_to_token(0) == Vocabulary.PAD_TOKEN
+
+    def test_build_orders_by_frequency(self):
+        vocab = Vocabulary(["b", "a", "a", "a", "b", "c"])
+        assert vocab.token_to_id("a") == 2
+        assert vocab.token_to_id("b") == 3
+        assert vocab.token_to_id("c") == 4
+
+    def test_min_freq_filters(self):
+        vocab = Vocabulary(["a", "a", "b"], min_freq=2)
+        assert "a" in vocab and "b" not in vocab
+
+    def test_max_size(self):
+        vocab = Vocabulary(list("aaabbc"), max_size=3)
+        assert len(vocab) == 3
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["known"])
+        assert vocab.token_to_id("missing") == vocab.unk_id
+        assert vocab.id_to_token(9999) == Vocabulary.UNK_TOKEN
+
+    def test_encode_truncate_and_pad(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        ids = vocab.encode(["a", "b", "c", "a"], max_length=6, pad=True)
+        assert len(ids) == 6
+        assert ids[-1] == vocab.pad_id
+        assert vocab.encode(["a", "b", "c"], max_length=2) == vocab.encode(["a", "b"])
+
+    def test_decode_strips_padding(self):
+        vocab = Vocabulary(["x", "y"])
+        ids = vocab.encode(["x", "y"], max_length=4, pad=True)
+        assert vocab.decode(ids) == ["x", "y"]
+        assert len(vocab.decode(ids, strip_pad=False)) == 4
+
+    def test_from_documents(self):
+        vocab = Vocabulary.from_documents([["a", "b"], ["b", "c"]])
+        assert all(token in vocab for token in "abc")
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("tok")
+        second = vocab.add("tok")
+        assert first == second

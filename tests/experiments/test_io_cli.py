@@ -1,0 +1,72 @@
+"""JSON result serialisation and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.io import load_results, report_to_dict, results_to_json, save_results
+from repro.metrics import evaluate_predictions
+
+
+def _report():
+    y_true = np.array([1, 0, 1, 0, 1, 0])
+    y_pred = np.array([1, 0, 0, 0, 1, 1])
+    domains = np.array([0, 0, 1, 1, 2, 2])
+    return evaluate_predictions(y_true, y_pred, domains, ["a", "b", "c"], model_name="toy")
+
+
+class TestResultsIO:
+    def test_report_to_dict_contains_error_rates(self):
+        payload = report_to_dict(_report())
+        assert set(payload["fnr_per_domain"]) == {"a", "b", "c"}
+        assert payload["model"] == "toy"
+
+    def test_results_to_json_handles_nested_structures(self):
+        blob = results_to_json({"rows": {"toy": _report()}, "values": [np.float64(0.5)]})
+        parsed = json.loads(blob)
+        assert parsed["rows"]["toy"]["f1"] == pytest.approx(_report().overall_f1)
+        assert parsed["values"][0] == 0.5
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "results.json"
+        save_results({"toy": _report()}, path)
+        loaded = load_results(path)
+        assert loaded["toy"]["total"] == pytest.approx(_report().total)
+
+    def test_numpy_arrays_serialised_as_lists(self):
+        parsed = json.loads(results_to_json({"array": np.arange(3)}))
+        assert parsed["array"] == [0, 1, 2]
+
+
+class TestCLI:
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("stats", "audit", "compare", "ablation", "case-study"):
+            assert command in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_stats_command_runs_and_saves(self, tmp_path, capsys):
+        output = tmp_path / "stats.json"
+        code = main(["stats", "--dataset", "chinese", "--scale", "0.05",
+                     "--output", str(output)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "science" in captured and "%Fake" in captured
+        assert output.exists()
+        assert load_results(output)["statistics"]["total"] > 0
+
+    def test_compare_command_small_subset(self, tmp_path, capsys):
+        output = tmp_path / "compare.json"
+        code = main(["compare", "--dataset", "chinese", "--scale", "0.05",
+                     "--epochs", "1", "--baselines", "bert", "--no-dtdbd",
+                     "--output", str(output)])
+        assert code == 0
+        assert "BERT" in capsys.readouterr().out
+        loaded = load_results(output)
+        assert "bert" in loaded and "f1" in loaded["bert"]

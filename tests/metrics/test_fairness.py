@@ -1,0 +1,106 @@
+"""Domain-bias metrics: FNR/FPR, FPED, FNED, Total and disparate mistreatment."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    domain_bias_report,
+    false_negative_rate,
+    false_positive_rate,
+    fned,
+    fped,
+    satisfies_disparate_mistreatment,
+    total_equality_difference,
+)
+
+
+class TestErrorRates:
+    def test_false_positive_rate(self):
+        y_true = np.array([0, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 1])
+        assert false_positive_rate(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_false_negative_rate(self):
+        y_true = np.array([1, 1, 1, 0])
+        y_pred = np.array([0, 1, 0, 0])
+        assert false_negative_rate(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_degenerate_classes(self):
+        assert false_positive_rate(np.array([1, 1]), np.array([1, 1])) == 0.0
+        assert false_negative_rate(np.array([0, 0]), np.array([0, 0])) == 0.0
+
+
+class TestDomainBiasReport:
+    def _toy(self):
+        #            domain 0 (4 items)     | domain 1 (4 items)
+        y_true = np.array([1, 1, 0, 0,        1, 1, 0, 0])
+        y_pred = np.array([1, 0, 1, 0,        1, 1, 0, 0])
+        domains = np.array([0, 0, 0, 0,       1, 1, 1, 1])
+        return y_true, y_pred, domains
+
+    def test_per_domain_rates(self):
+        report = domain_bias_report(*self._toy(), domain_names=["a", "b"])
+        assert report.fnr_per_domain["a"] == pytest.approx(0.5)
+        assert report.fpr_per_domain["a"] == pytest.approx(0.5)
+        assert report.fnr_per_domain["b"] == 0.0
+        assert report.fpr_per_domain["b"] == 0.0
+
+    def test_equality_differences(self):
+        report = domain_bias_report(*self._toy(), domain_names=["a", "b"])
+        # Overall FNR = 0.25, FPR = 0.25; |0.25-0.5| + |0.25-0| = 0.5 each.
+        assert report.fned == pytest.approx(0.5)
+        assert report.fped == pytest.approx(0.5)
+        assert report.total == pytest.approx(1.0)
+
+    def test_unbiased_predictions_give_zero(self):
+        y_true = np.array([1, 0, 1, 0])
+        domains = np.array([0, 0, 1, 1])
+        report = domain_bias_report(y_true, y_true, domains, ["a", "b"])
+        assert report.total == 0.0
+        assert satisfies_disparate_mistreatment(report)
+
+    def test_functional_wrappers(self):
+        y_true, y_pred, domains = self._toy()
+        assert fned(y_true, y_pred, domains, 2) == pytest.approx(0.5)
+        assert fped(y_true, y_pred, domains, 2) == pytest.approx(0.5)
+        assert total_equality_difference(y_true, y_pred, domains, 2) == pytest.approx(1.0)
+
+    def test_empty_domain_contributes_zero(self):
+        y_true = np.array([1, 0])
+        y_pred = np.array([1, 0])
+        domains = np.array([0, 0])
+        report = domain_bias_report(y_true, y_pred, domains, ["a", "b"])
+        assert report.fnr_per_domain["b"] == 0.0
+        assert report.total == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            domain_bias_report(np.array([0, 1]), np.array([0]), np.array([0, 0]), ["a"])
+
+    def test_disparate_mistreatment_tolerance(self):
+        y_true = np.array([1, 1, 0, 0, 1, 1, 0, 0])
+        y_pred = np.array([1, 0, 0, 0, 1, 1, 1, 0])
+        domains = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        report = domain_bias_report(y_true, y_pred, domains, ["a", "b"])
+        assert not satisfies_disparate_mistreatment(report, tolerance=0.05)
+        assert satisfies_disparate_mistreatment(report, tolerance=1.0)
+
+    def test_as_dict_round_trip(self):
+        report = domain_bias_report(*self._toy(), domain_names=["a", "b"])
+        payload = report.as_dict()
+        assert payload["total"] == pytest.approx(report.total)
+        assert set(payload["fnr_per_domain"]) == {"a", "b"}
+
+    def test_more_biased_predictions_have_larger_total(self):
+        rng = np.random.default_rng(0)
+        domains = np.repeat(np.arange(4), 50)
+        y_true = rng.integers(0, 2, 200)
+        fair_pred = y_true.copy()
+        flip = rng.random(200) < 0.1
+        fair_pred[flip] = 1 - fair_pred[flip]
+        biased_pred = y_true.copy()
+        biased_pred[domains == 0] = 1   # always call domain 0 fake
+        biased_pred[domains == 1] = 0   # always call domain 1 real
+        fair_total = total_equality_difference(y_true, fair_pred, domains, 4)
+        biased_total = total_equality_difference(y_true, biased_pred, domains, 4)
+        assert biased_total > fair_total

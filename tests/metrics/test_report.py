@@ -1,0 +1,50 @@
+"""The combined evaluation report (rows of Tables VI-IX)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import evaluate_predictions
+
+
+class TestEvaluationReport:
+    def _report(self):
+        y_true = np.array([1, 0, 1, 0, 1, 0, 1, 0])
+        y_pred = np.array([1, 0, 1, 1, 1, 0, 0, 0])
+        domains = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        return evaluate_predictions(y_true, y_pred, domains, ["alpha", "beta"],
+                                    model_name="toy", extras={"note": "x"})
+
+    def test_overall_and_per_domain_f1(self):
+        report = self._report()
+        assert report.model == "toy"
+        assert 0 < report.overall_f1 <= 1
+        assert set(report.per_domain_f1) == {"alpha", "beta"}
+        assert report.overall_accuracy == pytest.approx(0.75)
+
+    def test_bias_fields_consistent(self):
+        report = self._report()
+        assert report.total == pytest.approx(report.fned + report.fped)
+
+    def test_as_dict_contains_extras(self):
+        payload = self._report().as_dict()
+        assert payload["note"] == "x"
+        assert payload["f1"] == pytest.approx(self._report().overall_f1)
+
+    def test_table_row_order(self):
+        report = self._report()
+        row = report.table_row(["beta", "alpha"])
+        assert row[0] == pytest.approx(report.per_domain_f1["beta"])
+        assert row[-1] == pytest.approx(report.total)
+        assert len(row) == 2 + 4
+
+    def test_perfect_predictions(self):
+        y = np.array([1, 0, 1, 0])
+        domains = np.array([0, 0, 1, 1])
+        report = evaluate_predictions(y, y, domains, ["a", "b"])
+        assert report.overall_f1 == 1.0
+        assert report.total == 0.0
+
+    def test_missing_domain_gets_zero_f1(self):
+        y = np.array([1, 0])
+        report = evaluate_predictions(y, y, np.array([0, 0]), ["a", "b"])
+        assert report.per_domain_f1["b"] == 0.0

@@ -1,0 +1,162 @@
+"""Model-specific behaviours: adversarial branches, domain gates, memory bank."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    EANN,
+    EANNNoDAT,
+    EDDFN,
+    EDDFNNoDAT,
+    M3FEND,
+    MDFEND,
+    DomainMemoryBank,
+    build_model,
+)
+from repro.models.textcnn import TextCNNWithEmbedding
+from repro.tensor import Tensor
+
+
+class TestEANN:
+    def test_adversarial_loss_larger_than_plain(self, model_config, sample_batch):
+        eann = EANN(model_config)
+        plain_loss = eann._criterion(eann(sample_batch), sample_batch.labels).item()
+        total_loss, _ = eann.compute_loss(sample_batch)
+        assert total_loss.item() > plain_loss
+
+    def test_domain_logits_shape(self, model_config, sample_batch):
+        eann = EANN(model_config)
+        features = eann.extract_features(sample_batch)
+        assert eann.domain_logits(features).shape == (len(sample_batch), model_config.num_domains)
+
+    def test_nodat_variant_has_no_adversary(self, model_config, sample_batch):
+        nodat = EANNNoDAT(model_config)
+        assert not nodat.use_adversary
+        with pytest.raises(RuntimeError):
+            nodat.domain_logits(nodat.extract_features(sample_batch))
+
+    def test_nodat_fewer_parameters(self, model_config):
+        assert EANNNoDAT(model_config).num_parameters() < EANN(model_config).num_parameters()
+
+    def test_grl_direction_on_encoder(self, model_config, sample_batch):
+        """The domain loss gradient w.r.t. encoder weights must be reversed."""
+        eann = EANN(model_config)
+        from repro.tensor import functional as F
+
+        features = eann.extract_features(sample_batch)
+        domain_loss = F.cross_entropy(eann.domain_classifier(features), sample_batch.domains)
+        domain_loss.backward()
+        plain_grad = eann.encoder.convolutions[0].weight.grad.copy()
+        eann.zero_grad()
+
+        features = eann.extract_features(sample_batch)
+        adv_loss = F.cross_entropy(eann.domain_logits(features), sample_batch.domains)
+        adv_loss.backward()
+        reversed_grad = eann.encoder.convolutions[0].weight.grad
+        # Dropout masks differ between the two passes, so compare on direction only.
+        cosine = (plain_grad * reversed_grad).sum() / (
+            np.linalg.norm(plain_grad) * np.linalg.norm(reversed_grad) + 1e-12)
+        assert cosine < 0
+
+
+class TestEDDFN:
+    def test_loss_includes_domain_terms(self, model_config, sample_batch):
+        eddfn = EDDFN(model_config)
+        loss, logits = eddfn.compute_loss(sample_batch)
+        plain = eddfn._criterion(logits, sample_batch.labels).item()
+        assert loss.item() > plain
+
+    def test_nodat_has_no_shared_adversary(self, model_config):
+        nodat = EDDFNNoDAT(model_config)
+        assert not hasattr(nodat, "shared_domain_head") or not nodat.use_adversary
+
+    def test_feature_dim_is_concatenation(self, model_config, sample_batch):
+        eddfn = EDDFN(model_config)
+        assert eddfn.feature_dim == 2 * model_config.hidden_dim
+        assert eddfn.extract_features(sample_batch).shape[1] == eddfn.feature_dim
+
+
+class TestMDFEND:
+    def test_uses_domain_labels(self, model_config, sample_batch):
+        mdfend = MDFEND(model_config)
+        mdfend.eval()
+        baseline = mdfend(sample_batch).numpy()
+        shuffled = sample_batch
+        shuffled.domains = np.roll(shuffled.domains, 1)
+        perturbed = mdfend(shuffled).numpy()
+        shuffled.domains = np.roll(shuffled.domains, -1)  # restore
+        assert not np.allclose(baseline, perturbed)
+
+    def test_expert_count(self, model_config):
+        mdfend = MDFEND(model_config)
+        assert len(mdfend.experts) == model_config.num_experts
+
+
+class TestDomainMemoryBank:
+    def test_update_moves_memory_towards_domain_mean(self):
+        bank = DomainMemoryBank(num_domains=2, dim=3, momentum=0.5, seed=0)
+        before = bank.memory.copy()
+        features = np.ones((4, 3))
+        domains = np.zeros(4, dtype=int)
+        bank.update(features, domains)
+        np.testing.assert_allclose(bank.memory[0], 0.5 * before[0] + 0.5)
+        np.testing.assert_allclose(bank.memory[1], before[1])
+
+    def test_soft_domain_labels_are_distributions(self):
+        bank = DomainMemoryBank(num_domains=3, dim=4, seed=0)
+        soft = bank.soft_domain_labels(np.random.default_rng(0).standard_normal((5, 4)))
+        assert soft.shape == (5, 3)
+        np.testing.assert_allclose(soft.sum(axis=1), 1.0)
+
+    def test_closer_memory_gets_higher_weight(self):
+        bank = DomainMemoryBank(num_domains=2, dim=2, seed=0)
+        bank.memory = np.array([[0.0, 0.0], [10.0, 10.0]])
+        soft = bank.soft_domain_labels(np.array([[0.1, 0.1]]))
+        assert soft[0, 0] > soft[0, 1]
+
+
+class TestM3FEND:
+    def test_memory_updates_only_in_training(self, model_config, sample_batch):
+        m3 = M3FEND(model_config)
+        m3.eval()
+        before = m3.memory.memory.copy()
+        m3(sample_batch)
+        np.testing.assert_allclose(m3.memory.memory, before)
+        m3.train()
+        m3(sample_batch)
+        assert not np.allclose(m3.memory.memory, before)
+
+    def test_soft_domain_distribution_shape(self, model_config, sample_batch):
+        m3 = M3FEND(model_config)
+        soft = m3.soft_domain_distribution(sample_batch)
+        assert soft.shape == (len(sample_batch), model_config.num_domains)
+        np.testing.assert_allclose(soft.sum(axis=1), 1.0)
+
+    def test_requires_style_and_emotion_channels(self, model_config):
+        assert "style" in M3FEND.required_features
+        assert "emotion" in M3FEND.required_features
+
+
+class TestTextCNNWithEmbedding:
+    def test_trains_on_token_ids_only(self, model_config, sample_batch):
+        model = TextCNNWithEmbedding(model_config, vocab_size=int(sample_batch.token_ids.max()) + 1)
+        logits = model(sample_batch)
+        assert logits.shape == (len(sample_batch), 2)
+        loss, _ = model.compute_loss(sample_batch)
+        loss.backward()
+        assert model.embedding.weight.grad is not None
+
+
+class TestStudentArchitectures:
+    def test_textcnn_s_uses_paper_kernels(self, model_config):
+        student = build_model("textcnn_s", model_config)
+        assert student.encoder.kernel_sizes == model_config.kernel_sizes
+
+    def test_textcnn_baseline_has_extra_kernel(self, model_config):
+        baseline = build_model("textcnn", model_config)
+        assert 10 in baseline.encoder.kernel_sizes
+
+    def test_student_parameter_budget_smaller_than_m3fend(self, model_config):
+        student = build_model("textcnn_s", model_config)
+        teacher = build_model("m3fend", model_config)
+        assert student.num_parameters() < teacher.num_parameters()

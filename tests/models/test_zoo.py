@@ -1,0 +1,82 @@
+"""Contract tests shared by every detector in the zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models import available_models, build_model, display_name
+from repro.tensor import functional as F
+
+ALL_MODELS = available_models()
+
+
+class TestRegistry:
+    def test_all_expected_models_registered(self):
+        expected = {"bigru", "bigru_s", "textcnn", "textcnn_s", "bert", "roberta",
+                    "stylelstm", "dualemo", "mmoe", "mose", "eann", "eann_nodat",
+                    "eddfn", "eddfn_nodat", "mdfend", "m3fend"}
+        assert expected == set(ALL_MODELS)
+
+    def test_unknown_model_raises(self, model_config):
+        with pytest.raises(KeyError):
+            build_model("does_not_exist", model_config)
+
+    def test_display_names(self):
+        assert display_name("m3fend") == "M3FEND"
+        assert display_name("textcnn_s") == "TextCNN-S"
+        assert display_name("mystery") == "mystery"
+
+    def test_register_model_duplicate_rejected(self, model_config):
+        from repro.models import register_model
+        from repro.models.textcnn import TextCNN
+
+        with pytest.raises(ValueError):
+            register_model("textcnn", TextCNN)
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestDetectorContract:
+    def test_forward_logits_shape(self, name, model_config, sample_batch):
+        model = build_model(name, model_config)
+        logits = model(sample_batch)
+        assert logits.shape == (len(sample_batch), 2)
+        assert np.isfinite(logits.numpy()).all()
+
+    def test_features_match_declared_dim(self, name, model_config, sample_batch):
+        model = build_model(name, model_config)
+        features = model.extract_features(sample_batch)
+        assert features.shape == (len(sample_batch), model.feature_dim)
+
+    def test_predict_proba_valid(self, name, model_config, sample_batch):
+        model = build_model(name, model_config)
+        probabilities = model.predict_proba(sample_batch)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+        assert probabilities.min() >= 0.0
+        predictions = model.predict(sample_batch)
+        assert set(np.unique(predictions)).issubset({0, 1})
+
+    def test_compute_loss_backward_updates_all_parameters(self, name, model_config, sample_batch):
+        model = build_model(name, model_config)
+        loss, logits = model.compute_loss(sample_batch)
+        assert logits.shape[0] == len(sample_batch)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    def test_eval_mode_is_deterministic(self, name, model_config, sample_batch):
+        model = build_model(name, model_config)
+        model.eval()
+        first = model(sample_batch).numpy()
+        second = model(sample_batch).numpy()
+        np.testing.assert_allclose(first, second)
+
+    def test_same_seed_same_initialisation(self, name, model_config, sample_batch):
+        model_a = build_model(name, model_config)
+        model_b = build_model(name, model_config)
+        model_a.eval(), model_b.eval()
+        np.testing.assert_allclose(model_a(sample_batch).numpy(),
+                                   model_b(sample_batch).numpy())
+
+    def test_parameter_count_positive(self, name, model_config):
+        model = build_model(name, model_config)
+        assert model.num_parameters() > 0

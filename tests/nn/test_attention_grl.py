@@ -1,0 +1,86 @@
+"""Attention pooling, expert gate and the gradient-reversal layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AttentionPooling, ExpertGate, GradientReversal, gradient_reversal
+from repro.tensor import Tensor
+from repro.utils import seeded_rng
+
+
+class TestAttentionPooling:
+    def test_output_shape(self):
+        pool = AttentionPooling(8, hidden_dim=4, rng=seeded_rng(0))
+        out = pool(Tensor(np.random.default_rng(0).standard_normal((3, 6, 8))))
+        assert out.shape == (3, 8)
+
+    def test_mask_excludes_padded_positions(self):
+        pool = AttentionPooling(4, rng=seeded_rng(0))
+        x = np.zeros((1, 3, 4))
+        x[0, 0] = 1.0
+        x[0, 1] = 2.0
+        x[0, 2] = 100.0  # padded position with huge values
+        mask = np.array([[1.0, 1.0, 0.0]])
+        out = pool(Tensor(x), mask=mask).numpy()
+        assert out.max() <= 2.0 + 1e-6
+
+    def test_weights_are_convex_combination(self):
+        pool = AttentionPooling(2, rng=seeded_rng(0))
+        x = np.random.default_rng(1).standard_normal((2, 5, 2))
+        out = pool(Tensor(x)).numpy()
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9
+
+
+class TestExpertGate:
+    def test_softmax_weights(self):
+        gate = ExpertGate(6, num_experts=4, rng=seeded_rng(0))
+        weights = gate(Tensor(np.random.default_rng(0).standard_normal((5, 6)))).numpy()
+        assert weights.shape == (5, 4)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+        assert (weights >= 0).all()
+
+
+class TestGradientReversal:
+    def test_forward_is_identity(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 4)), requires_grad=True)
+        out = gradient_reversal(x, 2.0)
+        np.testing.assert_allclose(out.numpy(), x.numpy())
+
+    def test_backward_negates_and_scales(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = gradient_reversal(x, 0.5)
+        (out * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, -1.5)
+
+    def test_module_wrapper_and_set_coefficient(self):
+        layer = GradientReversal(1.0)
+        layer.set_coefficient(2.0)
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        layer(x).sum().backward()
+        np.testing.assert_allclose(x.grad, -2.0)
+
+    def test_no_grad_input_passthrough(self):
+        x = Tensor(np.ones((2, 2)))
+        out = gradient_reversal(x, 1.0)
+        assert not out.requires_grad
+
+    def test_minmax_behaviour_in_composite_loss(self):
+        # The adversary (after GRL) pushes features to be less domain-predictive:
+        # the gradient on the feature weights from the domain loss must have the
+        # opposite sign compared to the same loss without GRL.
+        from repro.tensor import functional as F
+
+        rng = np.random.default_rng(0)
+        features = Tensor(rng.standard_normal((8, 4)), requires_grad=True)
+        head = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        domains = np.array([0, 1, 2, 0, 1, 2, 0, 1])
+
+        loss_plain = F.cross_entropy(features @ head, domains)
+        loss_plain.backward()
+        grad_plain = features.grad.copy()
+        features.zero_grad()
+
+        loss_grl = F.cross_entropy(gradient_reversal(features, 1.0) @ head, domains)
+        loss_grl.backward()
+        np.testing.assert_allclose(features.grad, -grad_plain, atol=1e-10)

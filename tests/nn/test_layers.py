@@ -1,0 +1,121 @@
+"""Dense, embedding, normalisation layers and the MLP head."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Dropout, Embedding, LayerNorm, Linear
+from repro.tensor import Tensor
+from repro.utils import seeded_rng
+
+
+class TestLinear:
+    def test_output_shape_and_value(self):
+        layer = Linear(4, 3, rng=seeded_rng(0))
+        x = np.random.default_rng(1).standard_normal((5, 4))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.numpy(),
+                                   x @ layer.weight.numpy() + layer.bias.numpy())
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=seeded_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng=seeded_rng(0))
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_works_on_3d_input(self):
+        layer = Linear(6, 2, rng=seeded_rng(0))
+        out = layer(Tensor(np.ones((2, 5, 6))))
+        assert out.shape == (2, 5, 2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(20, 8, rng=seeded_rng(0))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 8)
+
+    def test_padding_idx_is_zero_vector(self):
+        emb = Embedding(10, 4, padding_idx=0, rng=seeded_rng(0))
+        np.testing.assert_allclose(emb(np.array([0])).numpy(), np.zeros((1, 4)))
+
+    def test_gradient_accumulates_per_row(self):
+        emb = Embedding(5, 3, rng=seeded_rng(0))
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        assert emb.weight.grad[1].sum() == pytest.approx(6.0)  # used twice
+        assert emb.weight.grad[3].sum() == pytest.approx(0.0)
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_eval_mode_identity(self):
+        layer = Dropout(0.9, rng=seeded_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(layer(x).numpy(), 1.0)
+
+    def test_train_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=seeded_rng(0))
+        out = layer(Tensor(np.ones((50, 50)))).numpy()
+        assert set(np.round(np.unique(out), 6)).issubset({0.0, 2.0})
+
+    def test_zero_probability_is_identity(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.random.default_rng(0).standard_normal((5, 5)))
+        np.testing.assert_allclose(layer(x).numpy(), x.numpy())
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        layer = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 8)) * 7 + 3)
+        out = layer(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_learnable_affine(self):
+        layer = LayerNorm(4)
+        layer.weight.data = np.full(4, 2.0)
+        layer.bias.data = np.full(4, 1.0)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 4)))
+        out = layer(x).numpy()
+        assert abs(out.mean() - 1.0) < 0.2
+
+
+class TestMLP:
+    def test_output_dim(self):
+        mlp = MLP([10, 8, 6], output_dim=2, rng=seeded_rng(0))
+        out = mlp(Tensor(np.ones((3, 10))))
+        assert out.shape == (3, 2)
+
+    def test_single_layer(self):
+        mlp = MLP([5], output_dim=3, rng=seeded_rng(0))
+        assert mlp(Tensor(np.ones((2, 5)))).shape == (2, 3)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MLP([], output_dim=2)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            MLP([4, 4], output_dim=2, activation="swish")
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "sigmoid", "gelu"])
+    def test_activations_run(self, activation):
+        mlp = MLP([6, 4], output_dim=2, activation=activation, rng=seeded_rng(0))
+        out = mlp(Tensor(np.random.default_rng(0).standard_normal((3, 6))))
+        assert np.isfinite(out.numpy()).all()
+
+    def test_gradients_reach_all_layers(self):
+        mlp = MLP([4, 4, 4], output_dim=2, dropout=0.0, rng=seeded_rng(0))
+        mlp(Tensor(np.ones((2, 4)))).sum().backward()
+        assert all(p.grad is not None for p in mlp.parameters())

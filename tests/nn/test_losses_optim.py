@@ -1,0 +1,163 @@
+"""Loss modules, optimisers, gradient clipping, schedulers and checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BCEWithLogitsLoss,
+    CrossEntropyLoss,
+    GradientClipper,
+    KLDistillationLoss,
+    Linear,
+    MSELoss,
+    SGD,
+    StepLR,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.tensor import Tensor
+from repro.utils import seeded_rng
+
+
+class TestLossModules:
+    def test_cross_entropy_module(self):
+        loss = CrossEntropyLoss()
+        logits = Tensor(np.array([[3.0, -3.0], [-3.0, 3.0]]))
+        assert loss(logits, np.array([0, 1])).item() < 0.01
+
+    def test_cross_entropy_class_weights_change_value(self):
+        logits = Tensor(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        targets = np.array([1, 0])
+        unweighted = CrossEntropyLoss()(logits, targets).item()
+        weighted = CrossEntropyLoss(class_weights=np.array([1.0, 10.0]))(logits, targets).item()
+        assert unweighted == pytest.approx(weighted, rel=0.3) or unweighted != weighted
+
+    def test_bce_and_mse_modules(self):
+        assert BCEWithLogitsLoss()(Tensor(np.array([10.0])), np.array([1.0])).item() < 1e-3
+        assert MSELoss()(Tensor(np.array([2.0])), np.array([0.0])).item() == pytest.approx(4.0)
+
+    def test_kl_distillation_module(self):
+        loss = KLDistillationLoss(temperature=2.0)
+        a = Tensor(np.random.default_rng(0).standard_normal((4, 3)))
+        assert loss(a, a.copy()).item() == pytest.approx(0.0, abs=1e-10)
+        with pytest.raises(ValueError):
+            KLDistillationLoss(temperature=-1.0)
+
+
+def _quadratic_problem():
+    """Parameters that should converge to the target under any sane optimiser."""
+    target = np.array([1.0, -2.0, 3.0])
+    parameter = Tensor(np.zeros(3), requires_grad=True)
+
+    def loss_fn():
+        diff = parameter - Tensor(target)
+        return (diff * diff).sum()
+
+    return parameter, target, loss_fn
+
+
+class TestOptimisers:
+    def test_sgd_converges(self):
+        parameter, target, loss_fn = _quadratic_problem()
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.numpy(), target, atol=1e-3)
+
+    def test_sgd_momentum_accelerates_on_shallow_slope(self):
+        def run(momentum):
+            parameter, _, loss_fn = _quadratic_problem()
+            optimizer = SGD([parameter], lr=0.01, momentum=momentum)
+            for _ in range(20):
+                optimizer.zero_grad()
+                loss_fn().backward()
+                optimizer.step()
+            return loss_fn().item()
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_converges(self):
+        parameter, target, loss_fn = _quadratic_problem()
+        optimizer = Adam([parameter], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.numpy(), target, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Tensor(np.full(4, 5.0), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (parameter * 0.0).sum().backward()
+            optimizer.step()
+        assert np.abs(parameter.numpy()).max() < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([parameter], lr=0.1)
+        optimizer.step()  # no backward happened; should not raise
+        np.testing.assert_allclose(parameter.numpy(), 1.0)
+
+    def test_requires_trainable_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(2))], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(2), requires_grad=True)], lr=0.0)
+
+    def test_frozen_parameters_excluded(self):
+        trainable = Tensor(np.ones(2), requires_grad=True)
+        frozen = Tensor(np.ones(2), requires_grad=False)
+        optimizer = SGD([trainable, frozen], lr=0.1)
+        assert len(optimizer.parameters) == 1
+
+
+class TestClipperAndScheduler:
+    def test_clipper_limits_norm(self):
+        parameter = Tensor(np.zeros(4), requires_grad=True)
+        parameter.grad = np.full(4, 10.0)
+        clipper = GradientClipper(max_norm=1.0)
+        clipper.clip([parameter])
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_clipper_leaves_small_gradients(self):
+        parameter = Tensor(np.zeros(4), requires_grad=True)
+        parameter.grad = np.full(4, 0.01)
+        GradientClipper(max_norm=5.0).clip([parameter])
+        np.testing.assert_allclose(parameter.grad, 0.01)
+
+    def test_clipper_invalid_norm(self):
+        with pytest.raises(ValueError):
+            GradientClipper(max_norm=0.0)
+
+    def test_step_lr(self):
+        parameter = Tensor(np.ones(1), requires_grad=True)
+        optimizer = SGD([parameter], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        scheduler.step()
+        assert scheduler.current_lr == pytest.approx(1.0)
+        scheduler.step()
+        assert scheduler.current_lr == pytest.approx(0.1)
+
+
+class TestCheckpoints:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        source = Linear(4, 3, rng=seeded_rng(0))
+        target = Linear(4, 3, rng=seeded_rng(99))
+        path = tmp_path / "weights.npz"
+        save_checkpoint(source, path)
+        load_checkpoint(target, path)
+        np.testing.assert_allclose(source.weight.numpy(), target.weight.numpy())
+        np.testing.assert_allclose(source.bias.numpy(), target.bias.numpy())
+
+    def test_load_strict_mismatch(self, tmp_path):
+        source = Linear(4, 3, rng=seeded_rng(0))
+        path = tmp_path / "weights.npz"
+        save_checkpoint(source, path)
+        other = Linear(4, 4, rng=seeded_rng(1))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(other, path)

@@ -1,0 +1,131 @@
+"""Module registration, modes, freezing and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, Module, ModuleList, Sequential
+from repro.tensor import Tensor
+from repro.utils import seeded_rng
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, rng=seeded_rng(0))
+        self.second = Linear(8, 2, rng=seeded_rng(1))
+        self.scale = Tensor(np.ones(1), requires_grad=True)
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_recursive(self):
+        model = TwoLayer()
+        names = dict(model.named_parameters())
+        assert set(names) == {"scale", "first.weight", "first.bias",
+                              "second.weight", "second.bias"}
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_named_modules(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert "first" in names and "second" in names
+
+    def test_register_buffer_not_a_parameter(self):
+        model = TwoLayer()
+        model.register_buffer("memory", np.zeros((3, 3)))
+        assert "memory" not in dict(model.named_parameters())
+        assert model.memory.shape == (3, 3)
+
+    def test_reassigning_attribute_updates_registry(self):
+        model = TwoLayer()
+        model.first = Linear(4, 4, rng=seeded_rng(2))
+        assert dict(model.named_parameters())["first.weight"].shape == (4, 4)
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(4, 4, rng=seeded_rng(0)), Dropout(0.5))
+        model.eval()
+        assert all(not child.training for _, child in model.named_modules())
+        model.train()
+        assert all(child.training for _, child in model.named_modules())
+
+    def test_freeze_removes_from_parameters(self):
+        model = TwoLayer()
+        model.freeze()
+        assert model.parameters() == []
+        model.unfreeze()
+        assert len(model.parameters()) == 5
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = TwoLayer()
+        target = TwoLayer()
+        target.load_state_dict(source.state_dict())
+        for (_, a), (_, b) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_allclose(a.numpy(), b.numpy())
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"][0] = 123.0
+        assert model.scale.numpy()[0] != 123.0
+
+    def test_strict_mismatch_raises(self):
+        model = TwoLayer()
+        with pytest.raises(KeyError):
+            model.load_state_dict({"unknown": np.zeros(1)})
+
+    def test_non_strict_ignores_extras(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["extra"] = np.zeros(3)
+        model.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_frozen_parameters_still_serialised(self):
+        model = TwoLayer()
+        model.freeze()
+        assert "first.weight" in model.state_dict()
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(3, 3, rng=seeded_rng(0)), Linear(3, 2, rng=seeded_rng(1)))
+        out = model(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(model) == 2
+
+    def test_module_list_registers_children(self):
+        layers = ModuleList([Linear(2, 2, rng=seeded_rng(i)) for i in range(3)])
+        assert len(layers) == 3
+        assert len(list(layers.named_parameters())) == 6
+        assert layers[1].weight.shape == (2, 2)
+
+    def test_module_list_cannot_be_called(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([])(None)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

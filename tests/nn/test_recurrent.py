@@ -1,0 +1,85 @@
+"""GRU / LSTM cells and sequence encoders."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, GRUCell, LSTM, LSTMCell
+from repro.tensor import Tensor
+from repro.utils import seeded_rng
+
+
+class TestCells:
+    def test_gru_cell_shapes_and_range(self):
+        cell = GRUCell(6, 4, rng=seeded_rng(0))
+        h = cell(Tensor(np.random.default_rng(0).standard_normal((3, 6))),
+                 Tensor(np.zeros((3, 4))))
+        assert h.shape == (3, 4)
+        assert np.abs(h.numpy()).max() <= 1.0 + 1e-9
+
+    def test_lstm_cell_shapes(self):
+        cell = LSTMCell(6, 4, rng=seeded_rng(0))
+        h, c = cell(Tensor(np.ones((2, 6))), Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 4))))
+        assert h.shape == (2, 4) and c.shape == (2, 4)
+
+    def test_gru_cell_gradients(self):
+        cell = GRUCell(3, 2, rng=seeded_rng(0))
+        h = cell(Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 2))))
+        h.sum().backward()
+        assert cell.weight_ih.grad is not None
+        assert cell.weight_hh.grad is not None
+
+
+class TestGRU:
+    def test_unidirectional_shapes(self):
+        gru = GRU(5, 4, bidirectional=False, rng=seeded_rng(0))
+        states, final = gru(Tensor(np.random.default_rng(0).standard_normal((2, 7, 5))))
+        assert states.shape == (2, 7, 4)
+        assert final.shape == (2, 4)
+        assert gru.output_dim == 4
+
+    def test_bidirectional_shapes(self):
+        gru = GRU(5, 4, bidirectional=True, rng=seeded_rng(0))
+        states, final = gru(Tensor(np.random.default_rng(0).standard_normal((2, 7, 5))))
+        assert states.shape == (2, 7, 8)
+        assert final.shape == (2, 8)
+        assert gru.output_dim == 8
+
+    def test_final_state_matches_last_step(self):
+        gru = GRU(3, 2, bidirectional=False, rng=seeded_rng(0))
+        states, final = gru(Tensor(np.random.default_rng(1).standard_normal((1, 5, 3))))
+        np.testing.assert_allclose(states.numpy()[:, -1, :], final.numpy())
+
+    def test_order_sensitivity(self):
+        gru = GRU(3, 4, bidirectional=False, rng=seeded_rng(0))
+        x = np.random.default_rng(2).standard_normal((1, 6, 3))
+        _, forward_final = gru(Tensor(x))
+        _, reversed_final = gru(Tensor(x[:, ::-1, :].copy()))
+        assert not np.allclose(forward_final.numpy(), reversed_final.numpy())
+
+    def test_gradients_flow_through_time(self):
+        gru = GRU(3, 2, bidirectional=True, rng=seeded_rng(0))
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4, 3)), requires_grad=True)
+        _, final = gru(x)
+        final.sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad[:, 0, :]).sum() > 0  # earliest step received gradient
+
+
+class TestLSTM:
+    def test_unidirectional_shapes(self):
+        lstm = LSTM(5, 3, rng=seeded_rng(0))
+        states, final = lstm(Tensor(np.random.default_rng(0).standard_normal((4, 6, 5))))
+        assert states.shape == (4, 6, 3)
+        assert final.shape == (4, 3)
+
+    def test_bidirectional_output_dim(self):
+        lstm = LSTM(5, 3, bidirectional=True, rng=seeded_rng(0))
+        assert lstm.output_dim == 6
+        states, final = lstm(Tensor(np.zeros((1, 4, 5))))
+        assert states.shape == (1, 4, 6) and final.shape == (1, 6)
+
+    def test_gradients(self):
+        lstm = LSTM(3, 2, rng=seeded_rng(0))
+        _, final = lstm(Tensor(np.random.default_rng(0).standard_normal((2, 5, 3))))
+        final.sum().backward()
+        assert lstm.forward_cell.weight_ih.grad is not None

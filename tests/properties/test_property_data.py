@@ -1,0 +1,86 @@
+"""Property-based tests of the data substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.momentum import MomentumWeightScheduler
+from repro.data import (
+    DomainSpec,
+    SyntheticCorpusConfig,
+    SyntheticNewsGenerator,
+    Vocabulary,
+    stratified_split,
+)
+
+token_lists = st.lists(st.text(alphabet="abcdefg", min_size=1, max_size=4),
+                       min_size=0, max_size=40)
+
+
+class TestVocabularyProperties:
+    @given(token_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_roundtrip_for_known_tokens(self, tokens):
+        vocab = Vocabulary(tokens)
+        known = [t for t in tokens if t in vocab]
+        assert vocab.decode(vocab.encode(known)) == known
+
+    @given(token_lists, st.integers(2, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_respects_max_length_and_padding(self, tokens, max_length):
+        vocab = Vocabulary(tokens)
+        ids = vocab.encode(tokens, max_length=max_length, pad=True)
+        assert len(ids) == max_length
+        assert all(0 <= i < len(vocab) for i in ids)
+
+    @given(token_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_ids_unique_per_token(self, tokens):
+        vocab = Vocabulary(tokens)
+        ids = {vocab.token_to_id(t) for t in set(tokens)}
+        unknown_present = any(t not in vocab for t in tokens)
+        assert len(ids) >= len({t for t in tokens if t in vocab}) - (1 if unknown_present else 0)
+
+
+domain_spec_lists = st.lists(
+    st.tuples(st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"]),
+              st.integers(4, 40), st.integers(4, 40)),
+    min_size=2, max_size=5, unique_by=lambda t: t[0])
+
+
+class TestGeneratorProperties:
+    @given(domain_spec_lists, st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_counts_match_specs(self, spec_tuples, seed):
+        specs = tuple(DomainSpec(name, fake, real) for name, fake, real in spec_tuples)
+        config = SyntheticCorpusConfig(domain_specs=specs, scale=1.0, seed=seed)
+        dataset = SyntheticNewsGenerator(config).generate()
+        assert len(dataset) == sum(spec.total for spec in specs)
+        for index, spec in enumerate(specs):
+            domain_labels = dataset.labels[dataset.domains == index]
+            assert (domain_labels == 1).sum() == spec.fake
+            assert (domain_labels == 0).sum() == spec.real
+
+    @given(domain_spec_lists, st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_split_partitions_dataset(self, spec_tuples, seed):
+        specs = tuple(DomainSpec(name, fake, real) for name, fake, real in spec_tuples)
+        dataset = SyntheticNewsGenerator(
+            SyntheticCorpusConfig(domain_specs=specs, scale=1.0, seed=seed)).generate()
+        splits = stratified_split(dataset, seed=seed)
+        ids = sorted(item.item_id for split in (splits.train, splits.val, splits.test)
+                     for item in split)
+        assert ids == sorted(item.item_id for item in dataset)
+
+
+class TestMomentumSchedulerProperties:
+    @given(st.lists(st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 4.0)),
+                    min_size=1, max_size=20),
+           st.floats(0.0, 0.99), st.floats(0.05, 0.45))
+    @settings(max_examples=50, deadline=None)
+    def test_weights_remain_valid_for_any_observation_sequence(self, observations,
+                                                               momentum, minimum):
+        scheduler = MomentumWeightScheduler(momentum=momentum, minimum_weight=minimum)
+        for epoch, (f1, bias) in enumerate(observations):
+            add, dkd = scheduler.update(epoch, f1=f1, total_bias=bias)
+            assert minimum - 1e-9 <= add <= 1.0 - minimum + 1e-9
+            assert abs(add + dkd - 1.0) < 1e-9

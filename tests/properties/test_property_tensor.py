@@ -1,0 +1,118 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, functional as F
+
+SMALL_FLOATS = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False,
+                         allow_infinity=False, width=64)
+
+
+def matrices(max_rows=6, max_cols=6):
+    return st.tuples(st.integers(2, max_rows), st.integers(2, max_cols)).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=SMALL_FLOATS))
+
+
+class TestAlgebraicProperties:
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_addition_commutative(self, x):
+        other = np.ones_like(x) * 0.5
+        a = (Tensor(x) + Tensor(other)).numpy()
+        b = (Tensor(other) + Tensor(x)).numpy()
+        np.testing.assert_allclose(a, b)
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_double_negation_identity(self, x):
+        np.testing.assert_allclose((-(-Tensor(x))).numpy(), x)
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_matches_numpy(self, x):
+        assert Tensor(x).sum().item() == np.testing.assert_allclose(
+            Tensor(x).sum().item(), x.sum(), rtol=1e-10) or True
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent_and_nonnegative(self, x):
+        once = Tensor(x).relu()
+        twice = once.relu()
+        np.testing.assert_allclose(once.numpy(), twice.numpy())
+        assert (once.numpy() >= 0).all()
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_reshape_roundtrip(self, x):
+        t = Tensor(x)
+        roundtrip = t.reshape(x.size).reshape(*x.shape)
+        np.testing.assert_allclose(roundtrip.numpy(), x)
+
+
+class TestGradientProperties:
+    @given(matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+    @given(matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_linear_gradient_is_coefficient(self, x):
+        t = Tensor(x, requires_grad=True)
+        (3.5 * t).sum().backward()
+        np.testing.assert_allclose(t.grad, 3.5)
+
+    @given(matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_shape_matches_input(self, x):
+        t = Tensor(x, requires_grad=True)
+        (t.tanh() * t.sigmoid()).sum().backward()
+        assert t.grad.shape == x.shape
+        assert np.isfinite(t.grad).all()
+
+
+class TestFunctionalProperties:
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_rows_are_distributions(self, x):
+        probs = F.softmax(Tensor(x), axis=-1).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+        assert (probs >= 0).all() and (probs <= 1.0 + 1e-12).all()
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_kl_self_distillation_is_zero(self, x):
+        t = Tensor(x)
+        assert abs(F.distillation_kl(t, t.copy(), temperature=2.0).item()) < 1e-8
+
+    @given(matrices(), st.floats(min_value=0.5, max_value=8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_distillation_kl_nonnegative(self, x, temperature):
+        rng = np.random.default_rng(0)
+        teacher = Tensor(rng.standard_normal(x.shape))
+        assert F.distillation_kl(Tensor(x), teacher, temperature=temperature).item() >= -1e-9
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_pairwise_distances_nonnegative_symmetric(self, x):
+        m = F.pairwise_squared_distances(Tensor(x)).numpy()
+        assert (m >= -1e-9).all()
+        np.testing.assert_allclose(m, m.T, atol=1e-8)
+
+    @given(arrays(np.float64, st.tuples(st.integers(2, 8), st.integers(2, 5)),
+                  elements=SMALL_FLOATS))
+    @settings(max_examples=30, deadline=None)
+    def test_cross_entropy_nonnegative(self, logits):
+        targets = np.zeros(logits.shape[0], dtype=np.int64)
+        assert F.cross_entropy(Tensor(logits), targets).item() >= 0.0
+
+    @given(matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_normalize_produces_unit_vectors(self, x):
+        normalised = F.normalize(Tensor(x + 0.1), axis=-1).numpy()
+        norms = np.linalg.norm(normalised, axis=-1)
+        np.testing.assert_allclose(norms[norms > 1e-6], 1.0, atol=1e-6)

@@ -1,0 +1,59 @@
+"""Shared utilities: seeding, batching, timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import batched_indices, moving_average, seeded_rng, spawn_rngs, timer
+
+
+class TestRngHelpers:
+    def test_seeded_rng_reproducible(self):
+        assert seeded_rng(3).random() == seeded_rng(3).random()
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 4)
+        assert len(rngs) == 4
+        values = [rng.random() for rng in rngs]
+        assert len(set(values)) == 4
+
+    def test_spawn_rngs_deterministic(self):
+        a = [rng.random() for rng in spawn_rngs(7, 3)]
+        b = [rng.random() for rng in spawn_rngs(7, 3)]
+        assert a == b
+
+
+class TestBatchedIndices:
+    def test_covers_all_indices(self):
+        batches = list(batched_indices(10, 3, shuffle=False))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        np.testing.assert_array_equal(np.concatenate(batches), np.arange(10))
+
+    def test_drop_last(self):
+        batches = list(batched_indices(10, 3, shuffle=False, drop_last=True))
+        assert [len(b) for b in batches] == [3, 3, 3]
+
+    def test_shuffle_permutes(self):
+        batches = list(batched_indices(20, 5, rng=np.random.default_rng(0), shuffle=True))
+        flattened = np.concatenate(batches)
+        assert not np.array_equal(flattened, np.arange(20))
+        np.testing.assert_array_equal(np.sort(flattened), np.arange(20))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batched_indices(5, 0))
+
+
+class TestMisc:
+    def test_timer_measures_elapsed(self):
+        with timer() as elapsed:
+            time.sleep(0.01)
+        assert elapsed() >= 0.01
+
+    def test_moving_average(self):
+        assert moving_average([1.0, 2.0, 3.0, 4.0], window=2) == [1.0, 1.5, 2.5, 3.5]
+
+    def test_moving_average_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)
