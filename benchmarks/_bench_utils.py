@@ -3,9 +3,13 @@ are unambiguous with the repository-root conftest.py)."""
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def emit(name: str, text: str) -> None:
@@ -19,3 +23,62 @@ def emit(name: str, text: str) -> None:
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# --------------------------------------------------------------------------- #
+# Perf-trajectory records (BENCH_<suite>.json at the repository root)          #
+# --------------------------------------------------------------------------- #
+def bench_json_path(suite: str) -> str:
+    """Path of the machine-readable record for ``suite`` (e.g. ``engine``)."""
+    return os.path.join(REPO_ROOT, f"BENCH_{suite}.json")
+
+
+def record_bench(suite: str, entries: list[dict], merge: bool = True) -> str:
+    """Merge benchmark ``entries`` into ``BENCH_<suite>.json`` and return the path.
+
+    Each entry is a flat dict with at least a ``name`` key; entries replace any
+    existing entry of the same name so repeated runs keep one row per
+    benchmark.  The file keeps enough environment metadata to make numbers
+    comparable across PRs on the same machine.
+    """
+    path = bench_json_path(suite)
+    environment = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "recorded_unix": int(time.time()),
+    }
+    payload = {"suite": suite, "entries": []}
+    if merge and os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {"suite": suite, "entries": []}
+        previous_env = payload.get("environment", {})
+        if any(previous_env.get(key) != environment[key]
+               for key in ("python", "machine")):
+            # Numbers from a different interpreter/machine are not comparable;
+            # start a fresh record instead of mixing provenance.
+            payload = {"suite": suite, "entries": []}
+    existing = {entry.get("name"): entry for entry in payload.get("entries", [])}
+    for entry in entries:
+        existing[entry["name"]] = entry
+    payload["suite"] = suite
+    payload["entries"] = [existing[name] for name in sorted(existing, key=str)]
+    payload["environment"] = environment
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def time_call(fn, repeats: int = 5, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,15 @@
+"""Perf-suite conftest: make ``benchmarks/_bench_utils`` importable.
+
+pytest inserts each test file's own directory into ``sys.path`` (rootdir
+layout without ``__init__.py`` files), so the helpers one level up need an
+explicit path entry here.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_BENCHMARKS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)

@@ -1,0 +1,53 @@
+"""Full evaluation-pass benchmark per model (inference fast path).
+
+Evaluation runs under ``no_grad()``: with the fast-path engine no backward
+closures or graph nodes are constructed at all, and the fused kernels collapse
+each layer into one NumPy expression.  This benchmark measures a full
+evaluation pass (all batches, prediction + metrics) per model, seed float64
+composed path vs fused float32 path, and records it in ``BENCH_engine.json``.
+
+Run with ``pytest benchmarks/perf --run-perf -q -s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import record_bench, time_call
+from _perf_workload import build_workload, run_eval_pass
+
+pytestmark = pytest.mark.perf
+
+MODELS = ("textcnn_s", "bigru", "stylelstm", "mdfend")
+
+
+def test_eval_pass_fused_float32_vs_seed_float64():
+    entries = []
+    for name in MODELS:
+        model64, loader64 = build_workload("float64", name)
+        model32, loader32 = build_workload("float32", name)
+        model64.eval()
+        model32.eval()
+        baseline_s = time_call(
+            lambda: run_eval_pass(model64, loader64, "float64", fused_on=False),
+            repeats=3)
+        fast_s = time_call(
+            lambda: run_eval_pass(model32, loader32, "float32", fused_on=True),
+            repeats=3)
+        speedup = baseline_s / fast_s
+        entries.append({
+            "name": f"eval_pass/{name}",
+            "baseline_ms": round(baseline_s * 1e3, 2),
+            "fast_ms": round(fast_s * 1e3, 2),
+            "baseline": "composed kernels, float64",
+            "fast": "fused kernels, float32",
+            "speedup": round(speedup, 2),
+        })
+        print(f"eval_pass/{name:10s} baseline {baseline_s * 1e3:8.2f} ms   "
+              f"fast {fast_s * 1e3:8.2f} ms   {speedup:5.2f}x")
+
+    path = record_bench("engine", entries)
+    print(f"recorded {len(entries)} eval entries -> {path}")
+
+    slowest = min(entry["speedup"] for entry in entries)
+    assert slowest >= 1.0, f"inference fast path regressed: {entries}"

@@ -1,0 +1,114 @@
+"""Per-op forward/backward microbenchmarks: fused kernels vs composed chains.
+
+Each benchmark times one forward+backward of a single operation on a
+Weibo21-training-shaped workload, once on the fused fast path and once on the
+composed-primitive path, and records the pair (plus the speedup) into
+``BENCH_engine.json`` so future PRs have a perf trajectory.
+
+Run with ``pytest benchmarks/perf --run-perf -q -s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import record_bench, time_call
+
+from repro.nn import Conv1d, GRUCell, LSTMCell, Linear
+from repro.tensor import Tensor, functional as F, fused_kernels
+
+pytestmark = pytest.mark.perf
+
+RNG = np.random.default_rng(7)
+
+BATCH, SEQ, DIM, HIDDEN, CLASSES = 64, 24, 128, 128, 2
+
+
+def _bench_pair(name: str, run, entries: list[dict]) -> float:
+    """Time ``run`` with fusion on and off; append a record; return speedup."""
+    with fused_kernels(True):
+        fused_s = time_call(run)
+    with fused_kernels(False):
+        composed_s = time_call(run)
+    speedup = composed_s / fused_s if fused_s > 0 else float("inf")
+    entries.append({
+        "name": f"op/{name}",
+        "fused_ms": round(fused_s * 1e3, 4),
+        "composed_ms": round(composed_s * 1e3, 4),
+        "speedup": round(speedup, 2),
+    })
+    print(f"{name:24s} fused {fused_s * 1e3:8.3f} ms   "
+          f"composed {composed_s * 1e3:8.3f} ms   {speedup:5.2f}x")
+    return speedup
+
+
+def test_per_op_fused_vs_composed():
+    entries: list[dict] = []
+
+    x2 = RNG.standard_normal((BATCH, DIM))
+    x3 = RNG.standard_normal((BATCH, SEQ, DIM))
+    logits = RNG.standard_normal((BATCH * 8, CLASSES))
+    teacher = RNG.standard_normal((BATCH * 8, CLASSES))
+    targets = RNG.integers(0, CLASSES, BATCH * 8)
+
+    linear = Linear(DIM, HIDDEN, rng=np.random.default_rng(0))
+
+    def run_linear():
+        out = linear(Tensor(x3, requires_grad=True))
+        (out * out).mean().backward()
+    _bench_pair("linear", run_linear, entries)
+
+    def run_softmax():
+        out = F.softmax(Tensor(x2, requires_grad=True), axis=-1)
+        (out * out).sum().backward()
+    _bench_pair("softmax", run_softmax, entries)
+
+    def run_log_softmax():
+        out = F.log_softmax(Tensor(x2, requires_grad=True), axis=-1)
+        out.sum().backward()
+    _bench_pair("log_softmax", run_log_softmax, entries)
+
+    def run_cross_entropy():
+        F.cross_entropy(Tensor(logits, requires_grad=True), targets).backward()
+    _bench_pair("cross_entropy", run_cross_entropy, entries)
+
+    def run_distillation_kl():
+        F.distillation_kl(Tensor(logits, requires_grad=True), Tensor(teacher),
+                          temperature=4.0).backward()
+    _bench_pair("distillation_kl", run_distillation_kl, entries)
+
+    gru = GRUCell(DIM, HIDDEN, rng=np.random.default_rng(1))
+    hidden = RNG.standard_normal((BATCH, HIDDEN))
+
+    def run_gru_step():
+        gru.zero_grad()
+        out = gru(Tensor(x2, requires_grad=True), Tensor(hidden, requires_grad=True))
+        (out * out).mean().backward()
+    _bench_pair("gru_step", run_gru_step, entries)
+
+    lstm = LSTMCell(DIM, HIDDEN, rng=np.random.default_rng(2))
+    cell = RNG.standard_normal((BATCH, HIDDEN))
+
+    def run_lstm_step():
+        lstm.zero_grad()
+        new_h, _ = lstm(Tensor(x2, requires_grad=True),
+                        Tensor(hidden, requires_grad=True),
+                        Tensor(cell, requires_grad=True))
+        (new_h * new_h).mean().backward()
+    _bench_pair("lstm_step", run_lstm_step, entries)
+
+    conv = Conv1d(DIM, 64, 5, rng=np.random.default_rng(3))
+
+    def run_conv1d():
+        conv.zero_grad()
+        out = conv(Tensor(x3, requires_grad=True))
+        (out * out).mean().backward()
+    _bench_pair("conv1d", run_conv1d, entries)
+
+    path = record_bench("engine", entries)
+    print(f"recorded {len(entries)} entries -> {path}")
+
+    # Fusion must never be slower than the composed chain it replaces.
+    slowest = min(entry["speedup"] for entry in entries)
+    assert slowest >= 1.0, f"a fused kernel regressed below composed speed: {entries}"

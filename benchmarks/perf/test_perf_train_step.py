@@ -1,0 +1,83 @@
+"""Full train-step benchmark: fused float32 fast path vs seed float64 path.
+
+This is the headline engine benchmark: one optimisation step (forward,
+backward, gradient clip, Adam update) on the synthetic Weibo21-shaped
+workload, comparing the seed configuration (composed primitive kernels,
+float64) against the fast path (fused kernels, float32).  The four models
+cover the DTDBD cast: the TextCNN-S student, the BiGRU-S ablation student,
+the StyleLSTM baseline and the MDFEND clean teacher.
+
+Baseline and fast configurations are timed in alternating rounds
+(best-of-``ROUNDS``) so slow-noisy-neighbour drift on shared machines hits
+both sides equally.  The measured speedups are recorded in
+``BENCH_engine.json`` and quoted in ``PERFORMANCE.md``.
+
+Run with ``pytest benchmarks/perf --run-perf -q -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _bench_utils import record_bench
+from _perf_workload import build_workload, run_train_steps
+
+pytestmark = pytest.mark.perf
+
+MODELS = ("textcnn_s", "bigru", "stylelstm", "mdfend")
+STEPS = 15
+ROUNDS = 6
+
+
+def _best_alternating(model_name: str) -> tuple[float, float]:
+    """Best seconds-per-run for (baseline, fast), interleaved round-robin."""
+    model64, loader64 = build_workload("float64", model_name)
+    model32, loader32 = build_workload("float32", model_name)
+    run_train_steps(model64, loader64, "float64", False, steps=2)  # warm-up
+    run_train_steps(model32, loader32, "float32", True, steps=2)
+    best64 = best32 = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_train_steps(model64, loader64, "float64", False, steps=STEPS)
+        best64 = min(best64, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_train_steps(model32, loader32, "float32", True, steps=STEPS)
+        best32 = min(best32, time.perf_counter() - start)
+    return best64, best32
+
+
+def test_train_step_fused_float32_vs_seed_float64():
+    entries = []
+    speedups = []
+    for name in MODELS:
+        baseline_s, fast_s = _best_alternating(name)
+        speedup = baseline_s / fast_s
+        speedups.append(speedup)
+        entries.append({
+            "name": f"train_step/{name}",
+            "baseline_ms_per_step": round(baseline_s / STEPS * 1e3, 3),
+            "fast_ms_per_step": round(fast_s / STEPS * 1e3, 3),
+            "baseline": "composed kernels, float64",
+            "fast": "fused kernels, float32",
+            "speedup": round(speedup, 2),
+        })
+        print(f"train_step/{name:10s} baseline {baseline_s / STEPS * 1e3:8.2f} ms/step   "
+              f"fast {fast_s / STEPS * 1e3:8.2f} ms/step   {speedup:5.2f}x")
+
+    geomean = 1.0
+    for value in speedups:
+        geomean *= value
+    geomean **= 1.0 / len(speedups)
+    entries.append({
+        "name": "train_step/geomean",
+        "speedup": round(geomean, 2),
+        "models": list(MODELS),
+    })
+    path = record_bench("engine", entries)
+    print(f"train_step geomean speedup {geomean:.2f}x -> {path}")
+
+    # Acceptance criterion for this PR: the fused float32 fast path must be at
+    # least 2x the seed float64 composed path on the train-step benchmark.
+    assert geomean >= 2.0, f"train-step speedup {geomean:.2f}x below the 2x target"

@@ -3,11 +3,40 @@
 Makes the package importable even when ``pip install -e .`` has not been run
 (e.g. a fresh offline checkout): the ``src`` layout directory is appended to
 ``sys.path`` as a fallback.
+
+Also registers the ``perf`` marker used by the microbenchmark suite under
+``benchmarks/perf/``.  Perf tests measure wall-clock throughput, so they are
+excluded from the default (tier-1) run and only collected when pytest is
+invoked with ``--run-perf``.
 """
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-perf", action="store_true", default=False,
+        help="run the performance microbenchmarks in benchmarks/perf/ "
+             "(excluded from the default test run)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: performance microbenchmark (deselected unless --run-perf is given)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-perf"):
+        return
+    skip_perf = pytest.mark.skip(reason="perf benchmark; pass --run-perf to run")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)

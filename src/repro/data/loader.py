@@ -16,6 +16,7 @@ import numpy as np
 from repro.data.dataset import MultiDomainNewsDataset, NewsItem
 from repro.data.tokenizer import WhitespaceTokenizer
 from repro.data.vocab import Vocabulary
+from repro.tensor import get_default_dtype
 from repro.utils import batched_indices
 
 #: A feature extractor receives the news items plus the encoded token ids and
@@ -65,6 +66,10 @@ class DataLoader:
         self.token_ids, self.mask = dataset.encode(vocab, max_length, tokenizer=self._tokenizer)
         self.labels = dataset.labels
         self.domains = dataset.domains
+        # Store floating arrays in the engine's compute dtype once, so the
+        # models never re-cast per batch (matters on the float32 fast path).
+        compute_dtype = get_default_dtype()
+        self.mask = self.mask.astype(compute_dtype, copy=False)
         self.features: dict[str, np.ndarray] = {}
         for name, extractor in (feature_extractors or {}).items():
             values = np.asarray(extractor(dataset.items, self.token_ids, self.mask))
@@ -72,7 +77,12 @@ class DataLoader:
                 raise ValueError(
                     f"feature extractor '{name}' returned {values.shape[0]} rows "
                     f"for a dataset of size {len(dataset)}")
+            if np.issubdtype(values.dtype, np.floating):
+                values = values.astype(compute_dtype, copy=False)
             self.features[name] = values
+        # Identity index array shared by every deterministic iteration: eval
+        # batches slice views out of it instead of allocating ranges per batch.
+        self._identity = np.arange(len(dataset))
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -82,13 +92,19 @@ class DataLoader:
     def num_domains(self) -> int:
         return self.dataset.num_domains
 
-    def _slice(self, indices: np.ndarray) -> Batch:
+    def _slice(self, indices: np.ndarray | slice) -> Batch:
+        """Build a batch for ``indices``.
+
+        Contiguous selections are passed as ``slice`` objects so every array
+        (token ids, mask, labels, domains and *all* feature channels) is a
+        zero-copy view; shuffled training batches use fancy indexing.
+        """
         return Batch(
             token_ids=self.token_ids[indices],
             mask=self.mask[indices],
             labels=self.labels[indices],
             domains=self.domains[indices],
-            indices=indices,
+            indices=self._identity[indices] if isinstance(indices, slice) else indices,
             features={name: values[indices] for name, values in self.features.items()},
         )
 
@@ -99,10 +115,16 @@ class DataLoader:
 
     def full_batch(self) -> Batch:
         """Return the entire dataset as a single batch (evaluation helper)."""
-        return self._slice(np.arange(len(self.dataset)))
+        return self._slice(slice(0, len(self.dataset)))
 
     def iter_eval(self, batch_size: int | None = None) -> Iterator[Batch]:
-        """Deterministic, unshuffled iteration (for evaluation)."""
+        """Deterministic, unshuffled iteration (for evaluation).
+
+        Eval order is contiguous, so each batch reuses views of the encoded
+        arrays and precomputed feature channels — no per-batch copies and no
+        per-batch ``arange`` allocations.
+        """
         size = batch_size or self.batch_size
-        for start in range(0, len(self.dataset), size):
-            yield self._slice(np.arange(start, min(start + size, len(self.dataset))))
+        total = len(self.dataset)
+        for start in range(0, total, size):
+            yield self._slice(slice(start, min(start + size, total)))

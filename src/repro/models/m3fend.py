@@ -16,7 +16,7 @@ import numpy as np
 from repro.data.loader import Batch
 from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence
 from repro.nn import Dropout, Linear, ModuleList, ReLU, Sequential, TextCNNEncoder
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, get_default_dtype
 from repro.utils import spawn_rngs
 
 
@@ -26,7 +26,8 @@ class DomainMemoryBank:
     def __init__(self, num_domains: int, dim: int, momentum: float = 0.9, seed: int = 0):
         rng = np.random.default_rng(seed)
         self.momentum = momentum
-        self.memory = rng.standard_normal((num_domains, dim)) * 0.1
+        self.memory = (rng.standard_normal((num_domains, dim)) * 0.1).astype(
+            get_default_dtype(), copy=False)
 
     def update(self, features: np.ndarray, domains: np.ndarray) -> None:
         """EMA-update each domain memory with the mean feature of its samples."""
@@ -92,7 +93,15 @@ class M3FEND(FakeNewsDetector):
         memory = state.pop("memory.memory", None)
         super().load_state_dict(state, strict=strict)
         if memory is not None:
-            self.memory.memory = np.asarray(memory, dtype=np.float64).copy()
+            # Mirror Module.load_state_dict: the stored blob is cast to the
+            # bank's current dtype, keeping checkpoints dtype-portable.
+            self.memory.memory = np.asarray(memory, dtype=self.memory.memory.dtype).copy()
+
+    def astype(self, dtype):
+        """Cast parameters *and* the domain memory bank (non-parameter state)."""
+        super().astype(dtype)
+        self.memory.memory = self.memory.memory.astype(np.dtype(dtype), copy=False)
+        return self
 
     # ------------------------------------------------------------------ #
     def _views(self, batch: Batch) -> tuple[Tensor, Tensor]:

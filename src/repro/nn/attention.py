@@ -26,7 +26,7 @@ class AttentionPooling(Module):
         scores = self.score_out(self.score_hidden(x).tanh())  # (batch, seq, 1)
         scores = scores.squeeze(2)
         if mask is not None:
-            penalty = (1.0 - np.asarray(mask, dtype=np.float64)) * -1e9
+            penalty = (1.0 - np.asarray(mask, dtype=scores.data.dtype)) * -1e9
             scores = scores + Tensor(penalty)
         weights = F.softmax(scores, axis=1).unsqueeze(2)
         return (x * weights).sum(axis=1)

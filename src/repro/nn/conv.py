@@ -10,15 +10,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor import Tensor, init
+from repro.tensor import Tensor, fused, init
 from repro.nn.module import Module, ModuleList
 
 
 class Conv1d(Module):
     """Valid 1-D convolution over the time axis of ``(batch, seq, channels)``.
 
-    Implemented as an unfold (window concatenation) followed by a matrix
-    multiplication so that it runs efficiently on the NumPy autograd engine.
+    The fast path is a fused kernel whose unfold is a zero-copy ``as_strided``
+    view (:func:`repro.tensor.fused.conv1d`); with fusion disabled it falls
+    back to the composed unfold (one window copy per kernel offset followed by
+    a concatenation) that the fused kernel is parity-tested against.
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
@@ -39,6 +41,8 @@ class Conv1d(Module):
         if seq_len < self.kernel_size:
             raise ValueError(
                 f"sequence length {seq_len} shorter than kernel size {self.kernel_size}")
+        if fused.is_fused_enabled():
+            return fused.conv1d(x, self.weight, self.bias, self.kernel_size)
         out_len = seq_len - self.kernel_size + 1
         windows = [x[:, offset:offset + out_len, :] for offset in range(self.kernel_size)]
         unfolded = Tensor.cat(windows, axis=2)  # (batch, out_len, k * in_channels)
@@ -46,9 +50,16 @@ class Conv1d(Module):
 
 
 class GlobalMaxPool1d(Module):
-    """Max over the time axis of ``(batch, seq, channels)``."""
+    """Max over the time axis of ``(batch, seq, channels)``.
+
+    The fused kernel routes the gradient to the argmax position (first winner
+    on ties); the composed ``Tensor.max`` splits exact ties evenly.  On the
+    continuous activations this pool sees, ties have probability zero.
+    """
 
     def forward(self, x: Tensor) -> Tensor:
+        if fused.is_fused_enabled():
+            return fused.max_pool1d(x)
         return x.max(axis=1)
 
 
@@ -80,5 +91,11 @@ class TextCNNEncoder(Module):
         return len(self.kernel_sizes) * self.channels
 
     def forward(self, x: Tensor) -> Tensor:
-        pooled = [self.pool(conv(x).relu()) for conv in self.convolutions]
+        if fused.is_fused_enabled():
+            # max and relu commute (both monotone, relu(0)=0), so pooling
+            # before the relu yields identical values and gradients while
+            # never materialising the (batch, out_len, channels) relu map.
+            pooled = [fused.max_pool1d(conv(x)).relu() for conv in self.convolutions]
+        else:
+            pooled = [self.pool(conv(x).relu()) for conv in self.convolutions]
         return Tensor.cat(pooled, axis=1)

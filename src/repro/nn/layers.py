@@ -4,12 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor import Tensor, functional as F, init
+from repro.tensor import Tensor, functional as F, fused, init
 from repro.nn.module import Module, Sequential
 
 
 class Linear(Module):
-    """Fully-connected layer ``y = x W + b``."""
+    """Fully-connected layer ``y = x W + b``.
+
+    Uses the fused single-node kernel from :mod:`repro.tensor.fused` unless
+    fusion is globally disabled, in which case it falls back to the composed
+    ``matmul`` + ``add`` primitive chain.
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: np.random.Generator | None = None):
@@ -20,6 +25,8 @@ class Linear(Module):
         self.bias = init.zeros((out_features,)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if fused.is_fused_enabled():
+            return fused.linear(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

@@ -105,6 +105,20 @@ class Module:
             parameter.requires_grad = True
         return self
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter (including frozen ones) to ``dtype`` in place.
+
+        Together with :func:`repro.tensor.set_default_dtype` this moves an
+        existing model between float64 and float32 compute.
+        """
+        resolved = np.dtype(dtype)
+        for _, parameter in self._all_parameters_even_frozen():
+            if parameter.data.dtype != resolved:
+                parameter.data = parameter.data.astype(resolved)
+            if parameter.grad is not None and parameter.grad.dtype != resolved:
+                parameter.grad = parameter.grad.astype(resolved)
+        return self
+
     def _all_parameters_even_frozen(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
         for name, tensor in self._parameters.items():
             yield (f"{prefix}{name}", tensor)

@@ -78,9 +78,11 @@ class Adam(Optimizer):
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
             v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # In-place bias-corrected update: denom = sqrt(v / bias2) + eps
+            denom = np.sqrt(v / bias2)
+            denom += self.eps
+            denom /= self.lr / bias1  # fold step size into the divisor
+            parameter.data -= m / denom
 
 
 class GradientClipper:
@@ -95,7 +97,7 @@ class GradientClipper:
         grads = [p.grad for p in parameters if p.grad is not None]
         if not grads:
             return 0.0
-        total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+        total = float(np.sqrt(sum(float(np.dot(g.ravel(), g.ravel())) for g in grads)))
         if total > self.max_norm and total > 0:
             scale = self.max_norm / total
             for parameter in parameters:

@@ -10,12 +10,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor import Tensor, init
+from repro.tensor import Tensor, fused, get_default_dtype, init
 from repro.nn.module import Module
 
 
 class GRUCell(Module):
-    """Single gated-recurrent-unit step."""
+    """Single gated-recurrent-unit step.
+
+    Runs as one fused graph node per step (see :func:`repro.tensor.fused.gru_step`)
+    unless fusion is globally disabled, in which case the composed primitive
+    chain below is used (it is the ground truth for the fused kernel's
+    gradient-parity tests).
+    """
 
     def __init__(self, input_dim: int, hidden_dim: int,
                  rng: np.random.Generator | None = None):
@@ -27,6 +33,11 @@ class GRUCell(Module):
         self.bias = init.zeros((3 * hidden_dim,))
 
     def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        if fused.is_fused_enabled():
+            return fused.gru_step(x, hidden, self.weight_ih, self.weight_hh, self.bias)
+        return self.forward_composed(x, hidden)
+
+    def forward_composed(self, x: Tensor, hidden: Tensor) -> Tensor:
         gates_x = x @ self.weight_ih + self.bias
         gates_h = hidden @ self.weight_hh
         h = self.hidden_dim
@@ -37,7 +48,11 @@ class GRUCell(Module):
 
 
 class LSTMCell(Module):
-    """Single long short-term memory step."""
+    """Single long short-term memory step.
+
+    Fused into a two-node ``(hidden, cell)`` pair per step (see
+    :func:`repro.tensor.fused.lstm_step`) unless fusion is globally disabled.
+    """
 
     def __init__(self, input_dim: int, hidden_dim: int,
                  rng: np.random.Generator | None = None):
@@ -49,6 +64,12 @@ class LSTMCell(Module):
         self.bias = init.zeros((4 * hidden_dim,))
 
     def forward(self, x: Tensor, hidden: Tensor, cell: Tensor) -> tuple[Tensor, Tensor]:
+        if fused.is_fused_enabled():
+            return fused.lstm_step(x, hidden, cell, self.weight_ih, self.weight_hh,
+                                   self.bias)
+        return self.forward_composed(x, hidden, cell)
+
+    def forward_composed(self, x: Tensor, hidden: Tensor, cell: Tensor) -> tuple[Tensor, Tensor]:
         gates = x @ self.weight_ih + hidden @ self.weight_hh + self.bias
         h = self.hidden_dim
         input_gate = gates[:, :h].sigmoid()
@@ -61,7 +82,7 @@ class LSTMCell(Module):
 
 
 def _zero_state(batch: int, hidden_dim: int) -> Tensor:
-    return Tensor(np.zeros((batch, hidden_dim)))
+    return Tensor(np.zeros((batch, hidden_dim), dtype=get_default_dtype()))
 
 
 class GRU(Module):

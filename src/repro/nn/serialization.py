@@ -16,8 +16,25 @@ def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
     np.savez(path, **state)
 
 
-def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True) -> None:
-    """Load a state dict saved by :func:`save_checkpoint` into ``module``."""
+def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True,
+                    dtype=None) -> None:
+    """Load a state dict saved by :func:`save_checkpoint` into ``module``.
+
+    Checkpoints are dtype-portable: arrays are cast to each parameter's
+    current dtype on load, so a float64-trained checkpoint can be loaded into
+    a float32 model (and vice versa).  Pass ``dtype`` to additionally cast the
+    whole module first.
+
+    Casting parameters alone does not move *compute* to that dtype: batch
+    features, masks and zero states are created under the global policy, and
+    NumPy promotes mixed inputs upward.  To actually serve a float64-trained
+    model on the float32 fast path, also set the policy::
+
+        set_default_dtype("float32")            # activations
+        load_checkpoint(model, path, dtype="float32")   # parameters
+    """
+    if dtype is not None:
+        module.astype(dtype)
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
     module.load_state_dict(state, strict=strict)

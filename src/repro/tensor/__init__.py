@@ -11,12 +11,29 @@ Public API
     N-dimensional array with reverse-mode autograd.
 ``functional``
     Composite differentiable functions (softmax, cross-entropy, KL, ...).
+``fused``
+    Single-node fused kernels with analytic backwards (the fast path).
 ``init``
     Weight initialisation schemes (Xavier/Glorot, Kaiming/He, uniform).
+``set_default_dtype`` / ``get_default_dtype`` / ``default_dtype``
+    Global float32/float64 compute policy.
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.dtype import default_dtype, get_default_dtype, set_default_dtype
+from repro.tensor.tensor import (
+    Tensor,
+    graph_nodes_created,
+    is_grad_enabled,
+    no_grad,
+)
+from repro.tensor import fused
 from repro.tensor import functional
 from repro.tensor import init
+from repro.tensor.fused import fused_kernels, is_fused_enabled, set_fused_enabled
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "init"]
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "graph_nodes_created",
+    "functional", "fused", "init",
+    "default_dtype", "get_default_dtype", "set_default_dtype",
+    "fused_kernels", "is_fused_enabled", "set_fused_enabled",
+]

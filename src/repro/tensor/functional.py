@@ -5,12 +5,21 @@ DTDBD reproduction needs: stable softmax / log-softmax, classification losses,
 the temperature-scaled KL divergence used by both distillation losses,
 embedding lookup, dropout and pairwise squared Euclidean distances (the
 sample-correlation matrix of Eq. 5 in the paper).
+
+The hot functions (``softmax``, ``log_softmax``, ``cross_entropy``,
+``distillation_kl``) dispatch to the single-node fused kernels in
+:mod:`repro.tensor.fused` when fusion is enabled (the default).  The original
+composed-primitive implementations are kept under ``*_reference`` names: they
+are the ground truth for the fused kernels' gradient-parity tests and the
+baseline for the perf benchmarks.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import fused
+from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor, _GRAD_ENABLED  # noqa: F401
 
 
@@ -37,6 +46,13 @@ def gelu(x: Tensor) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    if fused.is_fused_enabled():
+        return fused.softmax(x, axis=axis)
+    return softmax_reference(x, axis=axis)
+
+
+def softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
+    """Composed-primitive softmax (ground truth for the fused kernel)."""
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -44,6 +60,13 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
+    if fused.is_fused_enabled():
+        return fused.log_softmax(x, axis=axis)
+    return log_softmax_reference(x, axis=axis)
+
+
+def log_softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
+    """Composed-primitive log-softmax (ground truth for the fused kernel)."""
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     logsumexp = shifted.exp().sum(axis=axis, keepdims=True).log()
     return shifted - logsumexp
@@ -59,7 +82,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
         raise ValueError("labels must be a 1-D integer array")
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError("label outside [0, num_classes)")
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=get_default_dtype())
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 
@@ -70,7 +93,7 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, weights: np.ndarray | None 
     mask = one_hot(targets, log_probs.shape[-1])
     picked = (log_probs * Tensor(mask)).sum(axis=-1)
     if weights is not None:
-        picked = picked * Tensor(np.asarray(weights, dtype=np.float64))
+        picked = picked * Tensor(np.asarray(weights))
         return -picked.sum() / float(np.sum(weights))
     return -picked.mean()
 
@@ -78,12 +101,20 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, weights: np.ndarray | None 
 def cross_entropy(logits: Tensor, targets: np.ndarray,
                   weights: np.ndarray | None = None) -> Tensor:
     """Softmax cross-entropy between ``logits`` and integer ``targets``."""
-    return nll_loss(log_softmax(logits, axis=-1), targets, weights=weights)
+    if fused.is_fused_enabled():
+        return fused.cross_entropy(logits, targets, weights=weights)
+    return cross_entropy_reference(logits, targets, weights=weights)
+
+
+def cross_entropy_reference(logits: Tensor, targets: np.ndarray,
+                            weights: np.ndarray | None = None) -> Tensor:
+    """Composed-primitive cross-entropy (ground truth for the fused kernel)."""
+    return nll_loss(log_softmax_reference(logits, axis=-1), targets, weights=weights)
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Numerically stable binary cross-entropy on raw logits."""
-    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    targets_t = Tensor(np.asarray(targets))
     # log(1 + exp(-|x|)) + max(x, 0) - x * y
     max_part = logits.relu()
     abs_part = logits.abs()
@@ -120,10 +151,20 @@ def distillation_kl(student_logits: Tensor, teacher_logits: Tensor,
     produces a softmax at temperature ``tau``, and the KL divergence is scaled
     by ``tau^2`` to keep gradient magnitudes comparable across temperatures.
     """
+    if fused.is_fused_enabled():
+        return fused.distillation_kl(student_logits, teacher_logits,
+                                     temperature=temperature)
+    return distillation_kl_reference(student_logits, teacher_logits,
+                                     temperature=temperature)
+
+
+def distillation_kl_reference(student_logits: Tensor, teacher_logits: Tensor,
+                              temperature: float = 1.0) -> Tensor:
+    """Composed-primitive distillation loss (ground truth for the fused kernel)."""
     if temperature <= 0:
         raise ValueError("temperature must be positive")
-    student_log = log_softmax(student_logits * (1.0 / temperature), axis=-1)
-    teacher_prob = softmax(teacher_logits.detach() * (1.0 / temperature), axis=-1)
+    student_log = log_softmax_reference(student_logits * (1.0 / temperature), axis=-1)
+    teacher_prob = softmax_reference(teacher_logits.detach() * (1.0 / temperature), axis=-1)
     return (temperature ** 2) * kl_divergence(student_log, teacher_prob)
 
 
@@ -163,7 +204,10 @@ def dropout(x: Tensor, p: float, training: bool,
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     rng = rng if rng is not None else np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    # Draw uniforms directly in the compute dtype when it is float32: halves
+    # the RNG work and avoids a cast on the fast path.
+    draw_dtype = np.float32 if x.data.dtype == np.float32 else np.float64
+    mask = (rng.random(x.shape, dtype=draw_dtype) >= p).astype(x.data.dtype) / (1.0 - p)
     return x * Tensor(mask)
 
 
@@ -194,7 +238,7 @@ def masked_mean(x: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
 
     ``x`` is typically ``(batch, seq, features)`` and ``mask`` ``(batch, seq)``.
     """
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask, dtype=x.data.dtype)
     expanded = Tensor(mask[..., None]) if x.ndim == mask.ndim + 1 else Tensor(mask)
     total = (x * expanded).sum(axis=axis)
     counts = np.maximum(mask.sum(axis=axis, keepdims=False), 1.0)

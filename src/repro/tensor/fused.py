@@ -1,0 +1,400 @@
+"""Fused autograd kernels: one graph node per composite operation.
+
+The composed implementations in :mod:`repro.tensor.functional` build long
+chains of primitive nodes (a single softmax cross-entropy spawns ~8 nodes,
+one GRU step ~15).  Each kernel here computes the same forward value with
+plain NumPy and registers a *single* node whose backward closure applies the
+analytic gradient, which removes almost all graph/closure overhead from the
+hot training loops.
+
+Kernel inventory
+----------------
+``linear``            ``x @ W + b`` with N-d ``x``
+``softmax``           stable softmax along an axis
+``log_softmax``       stable log-softmax along an axis
+``cross_entropy``     softmax cross-entropy on integer targets (opt. weights)
+``distillation_kl``   temperature-scaled ``tau^2 KL(teacher || student)``
+``gru_step``          one fused GRU cell step
+``lstm_step``         one fused LSTM cell step (two-node pair ``h``/``c``)
+``conv1d``            valid 1-D convolution via an ``as_strided`` unfold
+
+Every kernel is verified against its composed-primitive counterpart by
+numerical-gradient parity tests in ``tests/tensor/test_fused.py`` (both
+float64 and float32).
+
+The module-level switch :func:`set_fused_enabled` /
+:func:`fused_kernels` lets callers (and the perf benchmarks) fall back to the
+composed implementations, which is how the before/after numbers in
+``PERFORMANCE.md`` are measured.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.tensor.tensor import (
+    Tensor,
+    _attach,
+    _stable_sigmoid,
+    _wrap,
+    is_grad_enabled,
+)
+
+_FUSED_ENABLED = True
+
+
+def is_fused_enabled() -> bool:
+    """Return whether the fused fast path is active."""
+    return _FUSED_ENABLED
+
+
+def set_fused_enabled(enabled: bool) -> bool:
+    """Globally enable/disable fused kernels; returns the previous setting."""
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def fused_kernels(enabled: bool = True):
+    """Context manager that temporarily toggles the fused fast path."""
+    previous = set_fused_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_fused_enabled(previous)
+
+
+def _recording(*tensors: Tensor) -> bool:
+    if not is_grad_enabled():
+        return False
+    for tensor in tensors:
+        if tensor.requires_grad:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# Dense projection                                                             #
+# --------------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused ``x @ weight + bias`` for ``x`` of shape ``(..., in_features)``."""
+    data = x.data @ weight.data
+    if bias is not None:
+        data += bias.data
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _recording(*parents):
+        return _wrap(data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate_grad(grad @ weight.data.T, owned=True)
+        if weight.requires_grad:
+            if x.data.ndim == 2:
+                weight._accumulate_grad(x.data.T @ grad, owned=True)
+            else:
+                flat_x = x.data.reshape(-1, x.data.shape[-1])
+                flat_g = grad.reshape(-1, grad.shape[-1])
+                weight._accumulate_grad(flat_x.T @ flat_g, owned=True)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate_grad(grad.reshape(-1, grad.shape[-1]).sum(axis=0), owned=True)
+
+    return _attach(data, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# Softmax family                                                               #
+# --------------------------------------------------------------------------- #
+def _softmax_data(x: np.ndarray, axis: int) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
+def _log_softmax_data(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` as a single graph node."""
+    data = _softmax_data(x.data, axis)
+    if not _recording(x):
+        return _wrap(data)
+
+    def backward(grad):
+        inner = (grad * data).sum(axis=axis, keepdims=True)
+        x._accumulate_grad(data * (grad - inner), owned=True)
+
+    return _attach(data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis`` as a single graph node."""
+    data = _log_softmax_data(x.data, axis=axis)
+    if not _recording(x):
+        return _wrap(data)
+
+    def backward(grad):
+        probs = np.exp(data)
+        x._accumulate_grad(grad - probs * grad.sum(axis=axis, keepdims=True), owned=True)
+
+    return _attach(data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  weights: np.ndarray | None = None) -> Tensor:
+    """Fused softmax cross-entropy on integer ``targets``.
+
+    Matches ``functional.cross_entropy_reference``: the mean (or
+    weight-normalised sum) of per-sample negative log-likelihoods.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.ndim != 1:
+        raise ValueError("targets must be a 1-D integer array")
+    num_classes = logits.data.shape[-1]
+    if targets.size and (targets.min() < 0 or targets.max() >= num_classes):
+        raise ValueError("label outside [0, num_classes)")
+    rows = np.arange(targets.shape[0])
+
+    log_probs = _log_softmax_data(logits.data, axis=-1)
+    picked = log_probs[rows, targets]
+    if weights is not None:
+        sample_weights = np.asarray(weights, dtype=logits.data.dtype)
+        coeff = sample_weights / float(np.sum(sample_weights))
+        value = -(picked * coeff).sum()
+    else:
+        coeff = None
+        value = -picked.mean()
+    data = np.asarray(value, dtype=logits.data.dtype)
+    if not _recording(logits):
+        return _wrap(data)
+
+    def backward(grad):
+        # d loss / d logits = (softmax - onehot) * per-sample coefficient
+        d_logits = np.exp(log_probs)
+        d_logits[rows, targets] -= 1.0
+        if coeff is not None:
+            d_logits *= coeff[:, None]
+        else:
+            d_logits /= targets.shape[0]
+        d_logits *= grad  # grad is scalar-shaped
+        logits._accumulate_grad(d_logits, owned=True)
+
+    return _attach(data, (logits,), backward)
+
+
+def distillation_kl(student_logits: Tensor, teacher_logits: Tensor,
+                    temperature: float = 1.0) -> Tensor:
+    """Fused ``tau^2 * KL(teacher || student)`` at temperature ``tau``.
+
+    The teacher branch is treated as a constant (matching the composed
+    implementation, which detaches the teacher), so gradients only flow into
+    the student logits.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    tau = float(temperature)
+    student_log = _log_softmax_data(student_logits.data / tau)
+    teacher_prob = _softmax_data(teacher_logits.data / tau, axis=-1)
+    q = np.clip(teacher_prob, 1e-12, None)
+    batch = student_logits.data.shape[0] if student_logits.data.ndim > 0 else 1
+    value = (tau ** 2) * float((q * (np.log(q) - student_log)).sum()) / float(batch)
+    data = np.asarray(value, dtype=student_logits.data.dtype)
+    if not _recording(student_logits):
+        return _wrap(data)
+
+    def backward(grad):
+        # d loss / d student = tau/B * (softmax(student/tau) * sum_j q_j - q)
+        student_prob = np.exp(student_log)
+        row_mass = q.sum(axis=-1, keepdims=True)
+        d_student = (tau / batch) * (student_prob * row_mass - q)
+        d_student *= grad
+        student_logits._accumulate_grad(d_student, owned=True)
+
+    return _attach(data, (student_logits,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Recurrent cell steps                                                         #
+# --------------------------------------------------------------------------- #
+def gru_step(x: Tensor, hidden: Tensor, weight_ih: Tensor, weight_hh: Tensor,
+             bias: Tensor) -> Tensor:
+    """One fused GRU step; mirrors ``GRUCell`` layout ``[reset, update, new]``."""
+    h = hidden.data.shape[-1]
+    gates_x = x.data @ weight_ih.data + bias.data
+    gates_h = hidden.data @ weight_hh.data
+    reset = _stable_sigmoid(gates_x[:, :h] + gates_h[:, :h])
+    update = _stable_sigmoid(gates_x[:, h:2 * h] + gates_h[:, h:2 * h])
+    gh_new = gates_h[:, 2 * h:]
+    candidate = np.tanh(gates_x[:, 2 * h:] + reset * gh_new)
+    data = update * hidden.data + (1.0 - update) * candidate
+    parents = (x, hidden, weight_ih, weight_hh, bias)
+    if not _recording(*parents):
+        return _wrap(data)
+
+    def backward(grad):
+        d_update = grad * (hidden.data - candidate) * update * (1.0 - update)
+        d_candidate = grad * (1.0 - update) * (1.0 - candidate ** 2)
+        d_reset = d_candidate * gh_new * reset * (1.0 - reset)
+        d_gates_x = np.concatenate([d_reset, d_update, d_candidate], axis=1)
+        d_gates_h = np.concatenate([d_reset, d_update, d_candidate * reset], axis=1)
+        if x.requires_grad:
+            x._accumulate_grad(d_gates_x @ weight_ih.data.T, owned=True)
+        if hidden.requires_grad:
+            hidden._accumulate_grad(grad * update + d_gates_h @ weight_hh.data.T,
+                                    owned=True)
+        if weight_ih.requires_grad:
+            weight_ih._accumulate_grad(x.data.T @ d_gates_x, owned=True)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate_grad(hidden.data.T @ d_gates_h, owned=True)
+        if bias.requires_grad:
+            bias._accumulate_grad(d_gates_x.sum(axis=0), owned=True)
+
+    return _attach(data, parents, backward)
+
+
+def lstm_step(x: Tensor, hidden: Tensor, cell: Tensor, weight_ih: Tensor,
+              weight_hh: Tensor, bias: Tensor) -> tuple[Tensor, Tensor]:
+    """One fused LSTM step; gate layout ``[input, forget, candidate, output]``.
+
+    Returns ``(new_hidden, new_cell)`` as a pair of graph nodes: ``new_cell``
+    owns the gradient flow into the gates that write the cell state, and
+    ``new_hidden`` (whose parents include ``new_cell``) owns the output-gate
+    path plus the ``tanh`` read-out of the new cell state.
+    """
+    h = hidden.data.shape[-1]
+    gates = x.data @ weight_ih.data + hidden.data @ weight_hh.data + bias.data
+    input_gate = _stable_sigmoid(gates[:, :h])
+    forget_gate = _stable_sigmoid(gates[:, h:2 * h])
+    candidate = np.tanh(gates[:, 2 * h:3 * h])
+    output_gate = _stable_sigmoid(gates[:, 3 * h:])
+    new_cell_data = forget_gate * cell.data + input_gate * candidate
+    tanh_cell = np.tanh(new_cell_data)
+    new_hidden_data = output_gate * tanh_cell
+
+    cell_parents = (x, hidden, cell, weight_ih, weight_hh, bias)
+    if not _recording(*cell_parents):
+        return _wrap(new_hidden_data), _wrap(new_cell_data)
+
+    # The output-gate gradient is produced by the ``new_hidden`` node but the
+    # matmuls into x / hidden / the weights are done exactly once, by the
+    # ``new_cell`` node (topologically guaranteed to run after ``new_hidden``),
+    # so the fused step performs the same number of matmuls as the composed
+    # chain while collapsing ~15 graph nodes into 2.
+    pending_output = [None]
+
+    def cell_backward(grad_cell):
+        d_input = grad_cell * candidate * input_gate * (1.0 - input_gate)
+        d_forget = grad_cell * cell.data * forget_gate * (1.0 - forget_gate)
+        d_candidate = grad_cell * input_gate * (1.0 - candidate ** 2)
+        d_output = pending_output[0]
+        pending_output[0] = None
+        if d_output is None:
+            d_output = np.zeros_like(d_input)
+        d_gates = np.concatenate([d_input, d_forget, d_candidate, d_output], axis=1)
+        if x.requires_grad:
+            x._accumulate_grad(d_gates @ weight_ih.data.T, owned=True)
+        if hidden.requires_grad:
+            hidden._accumulate_grad(d_gates @ weight_hh.data.T, owned=True)
+        if weight_ih.requires_grad:
+            weight_ih._accumulate_grad(x.data.T @ d_gates, owned=True)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate_grad(hidden.data.T @ d_gates, owned=True)
+        if bias.requires_grad:
+            bias._accumulate_grad(d_gates.sum(axis=0), owned=True)
+        if cell.requires_grad:
+            cell._accumulate_grad(grad_cell * forget_gate, owned=True)
+
+    new_cell = _attach(new_cell_data, cell_parents, cell_backward)
+
+    def hidden_backward(grad_hidden):
+        d_output = grad_hidden * tanh_cell * output_gate * (1.0 - output_gate)
+        if pending_output[0] is None:
+            pending_output[0] = d_output
+        else:
+            pending_output[0] += d_output
+        new_cell._accumulate_grad(grad_hidden * output_gate * (1.0 - tanh_cell ** 2),
+                                  owned=True)
+
+    new_hidden = _attach(new_hidden_data, (new_cell,), hidden_backward)
+    return new_hidden, new_cell
+
+
+# --------------------------------------------------------------------------- #
+# Pooling                                                                      #
+# --------------------------------------------------------------------------- #
+def max_pool1d(x: Tensor) -> Tensor:
+    """Fused global max over the time axis of ``(batch, seq, channels)``.
+
+    Backward scatters the gradient to the argmax position (first winner on
+    exact ties), avoiding the composed path's equality-mask construction and
+    tie normalisation.
+    """
+    if not _recording(x):
+        return _wrap(x.data.max(axis=1))
+    # One scan: the argmax both selects the forward value and is reused by the
+    # backward scatter.
+    winners = x.data.argmax(axis=1)[:, None, :]  # (batch, 1, channels)
+    data = np.take_along_axis(x.data, winners, axis=1)[:, 0, :]
+
+    def backward(grad):
+        full = np.zeros_like(x.data)
+        np.put_along_axis(full, winners, grad[:, None, :], axis=1)
+        x._accumulate_grad(full, owned=True)
+
+    return _attach(data, (x,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Convolution                                                                  #
+# --------------------------------------------------------------------------- #
+def conv1d(x: Tensor, weight: Tensor, bias: Tensor, kernel_size: int) -> Tensor:
+    """Fused valid 1-D convolution over ``(batch, seq, channels)``.
+
+    The unfold is a zero-copy ``as_strided`` view (instead of materialising a
+    window copy per kernel offset); a single reshape materialises the
+    ``(batch, out_len, k * channels)`` matrix that feeds one matmul.
+    """
+    batch, seq_len, channels = x.data.shape
+    out_len = seq_len - kernel_size + 1
+    if out_len <= 0:
+        raise ValueError(
+            f"sequence length {seq_len} shorter than kernel size {kernel_size}")
+    if kernel_size == 1:
+        # A width-1 convolution is exactly a per-position linear projection.
+        return linear(x, weight, bias)
+    # Zero-copy strided unfold in (offset-major, channel-minor) order, i.e.
+    # windows[b, o, j, c] == x[b, o + j, c]; the single reshape below is the
+    # only materialisation.
+    s0, s1, s2 = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data, shape=(batch, out_len, kernel_size, channels),
+        strides=(s0, s1, s1, s2))
+    unfolded = windows.reshape(batch, out_len, kernel_size * channels)
+    data = unfolded @ weight.data + bias.data
+    parents = (x, weight, bias)
+    if not _recording(*parents):
+        return _wrap(data)
+
+    def backward(grad):
+        if x.requires_grad:
+            d_unfolded = (grad @ weight.data.T).reshape(
+                batch, out_len, kernel_size, channels)
+            d_x = np.zeros_like(x.data)
+            for offset in range(kernel_size):
+                d_x[:, offset:offset + out_len, :] += d_unfolded[:, :, offset, :]
+            x._accumulate_grad(d_x, owned=True)
+        if weight.requires_grad:
+            flat_u = unfolded.reshape(-1, kernel_size * channels)
+            flat_g = grad.reshape(-1, grad.shape[-1])
+            weight._accumulate_grad(flat_u.T @ flat_g, owned=True)
+        if bias.requires_grad:
+            bias._accumulate_grad(grad.reshape(-1, grad.shape[-1]).sum(axis=0),
+                                  owned=True)
+
+    return _attach(data, parents, backward)

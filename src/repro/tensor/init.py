@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor
 
 
@@ -47,11 +48,11 @@ def normal(shape: tuple[int, ...], std: float = 0.02,
 
 
 def zeros(shape: tuple[int, ...]) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=True)
+    return Tensor(np.zeros(shape, dtype=get_default_dtype()), requires_grad=True)
 
 
 def ones(shape: tuple[int, ...]) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=True)
+    return Tensor(np.ones(shape, dtype=get_default_dtype()), requires_grad=True)
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

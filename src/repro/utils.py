@@ -22,18 +22,22 @@ def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
 
 def batched_indices(n: int, batch_size: int, rng: np.random.Generator | None = None,
                     shuffle: bool = True, drop_last: bool = False) -> Iterator[np.ndarray]:
-    """Yield index batches over ``range(n)``."""
+    """Yield index batches over ``range(n)``.
+
+    The epoch's index order is materialised exactly once; each yielded batch
+    is a zero-copy view into that array rather than a per-batch allocation.
+    """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     order = np.arange(n)
     if shuffle:
         rng = rng if rng is not None else np.random.default_rng()
         rng.shuffle(order)
-    for start in range(0, n, batch_size):
-        batch = order[start:start + batch_size]
-        if drop_last and batch.shape[0] < batch_size:
-            return
-        yield batch
+    full_batches, remainder = divmod(n, batch_size)
+    stop = full_batches * batch_size if (drop_last and remainder) else n
+    if stop <= 0:
+        return
+    yield from np.split(order[:stop], range(batch_size, stop, batch_size))
 
 
 @contextmanager

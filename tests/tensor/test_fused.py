@@ -1,0 +1,439 @@
+"""Gradient-parity and fast-path regression tests for the fused kernels.
+
+Every fused kernel must produce the same forward value and the same gradients
+as the composed-primitive implementation it replaces, in both float64 and
+float32, to 1e-6.  The float64 kernels are additionally checked against
+central-difference numerical gradients.  Finally, the inference fast path is
+pinned down: operations under ``no_grad()`` must build exactly zero graph
+nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv1d, GRUCell, LSTMCell, Linear, TextCNNEncoder
+from repro.tensor import (
+    Tensor,
+    default_dtype,
+    functional as F,
+    fused,
+    fused_kernels,
+    get_default_dtype,
+    graph_nodes_created,
+    no_grad,
+    set_default_dtype,
+)
+
+RNG = np.random.default_rng(1234)
+
+DTYPES = (np.float64, np.float32)
+ATOL = 1e-6
+
+
+def _grads(build_loss, arrays, fused_on: bool):
+    """Loss value + gradients of ``build_loss`` w.r.t. every input array."""
+    with fused_kernels(fused_on):
+        tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+        loss = build_loss(*tensors)
+        loss.backward()
+        return loss.item(), [t.grad for t in tensors]
+
+
+def assert_parity(build_loss, *arrays, dtype=np.float64):
+    """Fused and composed paths must agree on the loss and every gradient."""
+    arrays = [np.asarray(a, dtype=dtype) for a in arrays]
+    with default_dtype(dtype):
+        fused_loss, fused_grads = _grads(build_loss, arrays, fused_on=True)
+        composed_loss, composed_grads = _grads(build_loss, arrays, fused_on=False)
+    assert abs(fused_loss - composed_loss) <= ATOL
+    for got, expected in zip(fused_grads, composed_grads):
+        assert got is not None and expected is not None
+        assert got.dtype == expected.dtype == dtype
+        np.testing.assert_allclose(got, expected, atol=ATOL, rtol=1e-5)
+
+
+def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = fn()
+        array[index] = original - eps
+        lower = fn()
+        array[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+def assert_numerical(build_loss, *arrays):
+    """Fused autograd gradients must match central differences (float64)."""
+    with fused_kernels(True):
+        tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+        loss = build_loss(*tensors)
+        loss.backward()
+        for tensor in tensors:
+            def closure(t=tensor):
+                fixed = [Tensor(other.data) if other is not t else Tensor(t.data)
+                         for other in tensors]
+                return build_loss(*fixed).item()
+
+            numeric = numerical_gradient(closure, tensor.data)
+            np.testing.assert_allclose(tensor.grad, numeric, atol=1e-6, rtol=1e-4)
+
+
+# --------------------------------------------------------------------------- #
+# Parity: fused vs composed, both dtypes                                       #
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestFusedComposedParity:
+    def test_linear(self, dtype):
+        x = RNG.standard_normal((5, 7))
+        w = RNG.standard_normal((7, 4)) * 0.5
+        b = RNG.standard_normal(4) * 0.1
+        assert_parity(lambda xt, wt, bt: (fused.linear(xt, wt, bt) ** 2).sum()
+                      if fused.is_fused_enabled()
+                      else ((xt @ wt + bt) ** 2).sum(),
+                      x, w, b, dtype=dtype)
+
+    def test_linear_3d(self, dtype):
+        x = RNG.standard_normal((3, 6, 7))
+        w = RNG.standard_normal((7, 4)) * 0.5
+        b = RNG.standard_normal(4) * 0.1
+        assert_parity(lambda xt, wt, bt: (fused.linear(xt, wt, bt) ** 2).mean()
+                      if fused.is_fused_enabled()
+                      else ((xt @ wt + bt) ** 2).mean(),
+                      x, w, b, dtype=dtype)
+
+    def test_softmax(self, dtype):
+        x = RNG.standard_normal((6, 5)) * 3.0
+        assert_parity(lambda t: (F.softmax(t, axis=-1) ** 2).sum(), x, dtype=dtype)
+
+    def test_softmax_other_axis(self, dtype):
+        x = RNG.standard_normal((4, 6)) * 2.0
+        assert_parity(lambda t: (F.softmax(t, axis=0) ** 3).sum(), x, dtype=dtype)
+
+    def test_log_softmax(self, dtype):
+        x = RNG.standard_normal((6, 5)) * 3.0
+        assert_parity(lambda t: (F.log_softmax(t, axis=-1) ** 2).sum(), x, dtype=dtype)
+
+    def test_cross_entropy(self, dtype):
+        logits = RNG.standard_normal((8, 3)) * 2.0
+        targets = RNG.integers(0, 3, 8)
+        assert_parity(lambda t: F.cross_entropy(t, targets), logits, dtype=dtype)
+
+    def test_cross_entropy_weighted(self, dtype):
+        logits = RNG.standard_normal((8, 3)) * 2.0
+        targets = RNG.integers(0, 3, 8)
+        weights = RNG.random(8) + 0.25
+        assert_parity(lambda t: F.cross_entropy(t, targets, weights=weights),
+                      logits, dtype=dtype)
+
+    @pytest.mark.parametrize("temperature", (1.0, 4.0))
+    def test_distillation_kl(self, dtype, temperature):
+        student = RNG.standard_normal((6, 4))
+        teacher = np.asarray(RNG.standard_normal((6, 4)), dtype=dtype)
+        # The teacher is a constant in both implementations (the composed
+        # version detaches it), so parity is checked on the student gradient.
+        assert_parity(
+            lambda s: F.distillation_kl(s, Tensor(teacher), temperature=temperature),
+            student, dtype=dtype)
+
+    @pytest.mark.parametrize("temperature", (1.0, 4.0))
+    def test_distillation_kl_no_teacher_grad(self, dtype, temperature):
+        student = Tensor(RNG.standard_normal((6, 4)), requires_grad=True)
+        teacher = Tensor(RNG.standard_normal((6, 4)), requires_grad=True)
+        with default_dtype(dtype), fused_kernels(True):
+            F.distillation_kl(student, teacher, temperature=temperature).backward()
+        assert student.grad is not None
+        assert teacher.grad is None
+
+    def test_gru_step(self, dtype):
+        with default_dtype(dtype):
+            cell = GRUCell(5, 4, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((3, 5))
+        h = RNG.standard_normal((3, 4))
+
+        def loss(xt, ht):
+            return (cell(xt, ht) ** 2).sum()
+
+        arrays = [np.asarray(a, dtype=dtype) for a in (x, h)]
+        with default_dtype(dtype):
+            fused_loss, fused_grads = _grads(loss, arrays, fused_on=True)
+            fused_params = [p.grad.copy() for p in cell.parameters()]
+            cell.zero_grad()
+            composed_loss, composed_grads = _grads(loss, arrays, fused_on=False)
+            composed_params = [p.grad.copy() for p in cell.parameters()]
+            cell.zero_grad()
+        assert abs(fused_loss - composed_loss) <= ATOL
+        for got, expected in zip(fused_grads + fused_params,
+                                 composed_grads + composed_params):
+            np.testing.assert_allclose(got, expected, atol=ATOL, rtol=1e-5)
+
+    @pytest.mark.parametrize("readout", ("hidden", "cell", "both"))
+    def test_lstm_step(self, dtype, readout):
+        with default_dtype(dtype):
+            cell_module = LSTMCell(5, 4, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((3, 5))
+        h = RNG.standard_normal((3, 4))
+        c = RNG.standard_normal((3, 4))
+
+        def loss(xt, ht, ct):
+            new_h, new_c = cell_module(xt, ht, ct)
+            if readout == "hidden":
+                return (new_h ** 2).sum()
+            if readout == "cell":
+                return (new_c ** 2).sum()
+            return (new_h ** 2).sum() + new_c.sum()
+
+        arrays = [np.asarray(a, dtype=dtype) for a in (x, h, c)]
+        with default_dtype(dtype):
+            fused_loss, fused_grads = _grads(loss, arrays, fused_on=True)
+            fused_params = [p.grad.copy() for p in cell_module.parameters()]
+            cell_module.zero_grad()
+            composed_loss, composed_grads = _grads(loss, arrays, fused_on=False)
+            composed_params = [p.grad.copy() for p in cell_module.parameters()]
+            cell_module.zero_grad()
+        assert abs(fused_loss - composed_loss) <= ATOL
+        for got, expected in zip(fused_grads + fused_params,
+                                 composed_grads + composed_params):
+            np.testing.assert_allclose(got, expected, atol=ATOL, rtol=1e-5)
+
+    def test_lstm_sequence_chain(self, dtype):
+        """Chained steps: the cell state threads grads through many fused pairs."""
+        with default_dtype(dtype):
+            cell_module = LSTMCell(3, 4, rng=np.random.default_rng(1))
+            inputs = np.asarray(RNG.standard_normal((4, 2, 3)), dtype=dtype)
+
+            def run(fused_on):
+                with fused_kernels(fused_on):
+                    cell_module.zero_grad()
+                    h = Tensor(np.zeros((2, 4), dtype=dtype))
+                    c = Tensor(np.zeros((2, 4), dtype=dtype))
+                    outs = []
+                    for step in range(inputs.shape[0]):
+                        h, c = cell_module(Tensor(inputs[step]), h, c)
+                        outs.append(h)
+                    (Tensor.cat(outs, axis=1) ** 2).sum().backward()
+                    return [p.grad.copy() for p in cell_module.parameters()]
+
+            for got, expected in zip(run(True), run(False)):
+                np.testing.assert_allclose(got, expected, atol=ATOL, rtol=1e-5)
+
+    def test_conv1d(self, dtype):
+        with default_dtype(dtype):
+            conv = Conv1d(4, 3, 3, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((2, 7, 4))
+
+        def loss(xt):
+            return (conv(xt) ** 2).mean()
+
+        arrays = [np.asarray(x, dtype=dtype)]
+        with default_dtype(dtype):
+            fused_loss, fused_grads = _grads(loss, arrays, fused_on=True)
+            fused_params = [p.grad.copy() for p in conv.parameters()]
+            conv.zero_grad()
+            composed_loss, composed_grads = _grads(loss, arrays, fused_on=False)
+            composed_params = [p.grad.copy() for p in conv.parameters()]
+            conv.zero_grad()
+        assert abs(fused_loss - composed_loss) <= ATOL
+        for got, expected in zip(fused_grads + fused_params,
+                                 composed_grads + composed_params):
+            np.testing.assert_allclose(got, expected, atol=ATOL, rtol=1e-5)
+
+    def test_max_pool(self, dtype):
+        x = RNG.standard_normal((3, 6, 4))
+
+        def loss(xt):
+            pooled = fused.max_pool1d(xt) if fused.is_fused_enabled() \
+                else xt.max(axis=1)
+            return (pooled ** 2).sum()
+
+        assert_parity(loss, x, dtype=dtype)
+
+    def test_textcnn_encoder(self, dtype):
+        """The conv + relu/pool reordering must not change values or grads."""
+        with default_dtype(dtype):
+            encoder = TextCNNEncoder(6, kernel_sizes=(1, 2, 3), channels=5,
+                                     rng=np.random.default_rng(0))
+        x = np.asarray(RNG.standard_normal((3, 8, 6)), dtype=dtype)
+
+        def run(fused_on):
+            with default_dtype(dtype), fused_kernels(fused_on):
+                encoder.zero_grad()
+                xt = Tensor(x, requires_grad=True)
+                out = encoder(xt)
+                (out ** 2).sum().backward()
+                return out.numpy().copy(), [xt.grad.copy()] + \
+                    [p.grad.copy() for p in encoder.parameters()]
+
+        fused_out, fused_grads = run(True)
+        composed_out, composed_grads = run(False)
+        np.testing.assert_allclose(fused_out, composed_out, atol=ATOL, rtol=1e-5)
+        for got, expected in zip(fused_grads, composed_grads):
+            np.testing.assert_allclose(got, expected, atol=ATOL, rtol=1e-5)
+
+
+# --------------------------------------------------------------------------- #
+# Numerical gradients of the fused kernels (float64)                           #
+# --------------------------------------------------------------------------- #
+class TestFusedNumericalGradients:
+    def test_linear(self):
+        x = RNG.standard_normal((4, 5))
+        w = RNG.standard_normal((5, 3)) * 0.5
+        b = RNG.standard_normal(3) * 0.1
+        assert_numerical(lambda xt, wt, bt: (fused.linear(xt, wt, bt) ** 2).sum(),
+                         x, w, b)
+
+    def test_softmax(self):
+        x = RNG.standard_normal((4, 5))
+        assert_numerical(lambda t: (fused.softmax(t, axis=-1) ** 2).sum(), x)
+
+    def test_log_softmax(self):
+        x = RNG.standard_normal((4, 5))
+        assert_numerical(lambda t: (fused.log_softmax(t, axis=-1) ** 2).sum(), x)
+
+    def test_cross_entropy(self):
+        logits = RNG.standard_normal((6, 3))
+        targets = RNG.integers(0, 3, 6)
+        assert_numerical(lambda t: fused.cross_entropy(t, targets), logits)
+
+    def test_distillation_kl(self):
+        student = RNG.standard_normal((5, 3))
+        teacher = RNG.standard_normal((5, 3))
+        assert_numerical(
+            lambda s: fused.distillation_kl(s, Tensor(teacher), temperature=2.5),
+            student)
+
+    def test_gru_step(self):
+        cell = GRUCell(4, 3, rng=np.random.default_rng(3))
+        weights = [cell.weight_ih.data.copy(), cell.weight_hh.data.copy(),
+                   cell.bias.data.copy()]
+        x = RNG.standard_normal((2, 4))
+        h = RNG.standard_normal((2, 3))
+        assert_numerical(
+            lambda xt, ht, wih, whh, b: (fused.gru_step(xt, ht, wih, whh, b) ** 2).sum(),
+            x, h, *weights)
+
+    def test_lstm_step(self):
+        cell = LSTMCell(4, 3, rng=np.random.default_rng(3))
+        weights = [cell.weight_ih.data.copy(), cell.weight_hh.data.copy(),
+                   cell.bias.data.copy()]
+        x = RNG.standard_normal((2, 4))
+        h = RNG.standard_normal((2, 3))
+        c = RNG.standard_normal((2, 3))
+
+        def loss(xt, ht, ct, wih, whh, b):
+            new_h, new_c = fused.lstm_step(xt, ht, ct, wih, whh, b)
+            return (new_h ** 2).sum() + new_c.sum()
+
+        assert_numerical(loss, x, h, c, *weights)
+
+    def test_conv1d(self):
+        x = RNG.standard_normal((2, 6, 3))
+        w = RNG.standard_normal((2 * 3, 4)) * 0.5
+        b = RNG.standard_normal(4) * 0.1
+        assert_numerical(
+            lambda xt, wt, bt: (fused.conv1d(xt, wt, bt, 2) ** 2).sum(), x, w, b)
+
+
+# --------------------------------------------------------------------------- #
+# Inference fast path: no graph construction under no_grad                     #
+# --------------------------------------------------------------------------- #
+class TestNoGradFastPath:
+    def test_primitive_ops_build_zero_nodes(self):
+        a = Tensor(RNG.standard_normal((4, 5)), requires_grad=True)
+        b = Tensor(RNG.standard_normal((4, 5)), requires_grad=True)
+        before = graph_nodes_created()
+        with no_grad():
+            out = (a + b) * a - b / (a.abs() + 2.0)
+            out = out.relu().tanh().sigmoid().exp().sum()
+            _ = a.reshape(20)[3:7].max()
+            _ = Tensor.cat([a, b], axis=1).mean(axis=0)
+        assert graph_nodes_created() == before
+        assert out._backward is None and out._prev == ()
+
+    def test_fused_kernels_build_zero_nodes(self):
+        linear = Linear(6, 4, rng=np.random.default_rng(0))
+        gru = GRUCell(6, 4, rng=np.random.default_rng(1))
+        lstm = LSTMCell(6, 4, rng=np.random.default_rng(2))
+        conv = Conv1d(6, 4, 2, rng=np.random.default_rng(3))
+        x2 = Tensor(RNG.standard_normal((3, 6)))
+        x3 = Tensor(RNG.standard_normal((3, 5, 6)))
+        h = Tensor(RNG.standard_normal((3, 4)))
+        c = Tensor(RNG.standard_normal((3, 4)))
+        before = graph_nodes_created()
+        with no_grad():
+            _ = linear(x2)
+            _ = gru(x2, h)
+            _ = lstm(x2, h, c)
+            _ = fused.max_pool1d(conv(x3))
+            _ = F.softmax(x2)
+            _ = F.cross_entropy(x2[:, :2], np.array([0, 1, 0]))
+            _ = F.distillation_kl(x2, x2, temperature=2.0)
+        assert graph_nodes_created() == before
+
+    def test_training_still_records_nodes(self):
+        linear = Linear(6, 4, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((3, 6)))
+        before = graph_nodes_created()
+        out = linear(x).sum()
+        assert graph_nodes_created() == before + 2  # fused linear + sum
+        out.backward()
+        assert linear.weight.grad is not None
+
+
+# --------------------------------------------------------------------------- #
+# Dtype policy                                                                 #
+# --------------------------------------------------------------------------- #
+class TestDtypePolicy:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_context_manager_scopes_policy(self):
+        with default_dtype("float32"):
+            assert get_default_dtype() == np.float32
+            assert Tensor([1.0]).dtype == np.float32
+            assert Tensor.zeros(3).dtype == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_set_default_dtype_returns_previous(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert previous == np.float64
+            assert Tensor(np.arange(3)).dtype == np.float32
+        finally:
+            set_default_dtype(previous)
+
+    def test_rejects_non_float_dtypes(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+
+    def test_float32_training_end_to_end(self):
+        with default_dtype("float32"):
+            linear = Linear(6, 2, rng=np.random.default_rng(0))
+            x = Tensor(RNG.standard_normal((4, 6)))
+            assert x.dtype == np.float32
+            loss = F.cross_entropy(linear(x), np.array([0, 1, 0, 1]))
+            assert loss.dtype == np.float32
+            loss.backward()
+            assert linear.weight.grad.dtype == np.float32
+
+    def test_module_astype_round_trip(self):
+        gru = GRUCell(4, 3, rng=np.random.default_rng(0))
+        gru.astype(np.float32)
+        assert all(p.dtype == np.float32 for p in gru.parameters())
+        gru.astype(np.float64)
+        assert all(p.dtype == np.float64 for p in gru.parameters())
+
+    def test_stable_sigmoid_no_warning_on_extremes(self):
+        x = Tensor(np.array([-1000.0, -50.0, 0.0, 50.0, 1000.0]))
+        with np.errstate(over="raise", invalid="raise"):
+            out = x.sigmoid()
+        np.testing.assert_allclose(out.numpy(), [0.0, 0.0, 0.5, 1.0, 1.0],
+                                   atol=1e-20)
