@@ -15,7 +15,16 @@ import pytest
 
 from _bench_utils import record_bench, time_call
 
-from repro.nn import Conv1d, GRUCell, LSTMCell, Linear
+from repro.nn import (
+    GRU,
+    LSTM,
+    AttentionPooling,
+    Conv1d,
+    GRUCell,
+    LayerNorm,
+    LSTMCell,
+    Linear,
+)
 from repro.tensor import Tensor, functional as F, fused_kernels
 
 pytestmark = pytest.mark.perf
@@ -110,5 +119,59 @@ def test_per_op_fused_vs_composed():
     print(f"recorded {len(entries)} entries -> {path}")
 
     # Fusion must never be slower than the composed chain it replaces.
+    slowest = min(entry["speedup"] for entry in entries)
+    assert slowest >= 1.0, f"a fused kernel regressed below composed speed: {entries}"
+
+
+def test_scan_and_fused_layer_ops():
+    """Whole-sequence scan kernels and the attention/layer-norm fused ops.
+
+    The fused side runs one ``gru_scan``/``lstm_scan`` node per direction; the
+    composed side is the per-step cell loop (itself using the fused step
+    kernels when fusion is on, so the composed timing here is taken with
+    fusion fully off — the same baseline the step benchmarks use).  Smoke
+    target: ``pytest benchmarks/perf/test_perf_ops.py --run-perf -k scan``.
+    """
+    entries: list[dict] = []
+
+    x_seq = RNG.standard_normal((BATCH, SEQ, DIM))
+    lengths = RNG.integers(SEQ // 2, SEQ + 1, BATCH)
+    mask = (np.arange(SEQ)[None, :] < lengths[:, None]).astype(float)
+
+    gru = GRU(DIM, HIDDEN, bidirectional=True, rng=np.random.default_rng(4))
+
+    def run_gru_scan():
+        gru.zero_grad()
+        states, final = gru(Tensor(x_seq, requires_grad=True), mask=mask)
+        ((states * states).mean() + (final * final).mean()).backward()
+    _bench_pair("gru_scan", run_gru_scan, entries)
+
+    lstm = LSTM(DIM, HIDDEN, bidirectional=True, rng=np.random.default_rng(5))
+
+    def run_lstm_scan():
+        lstm.zero_grad()
+        states, final = lstm(Tensor(x_seq, requires_grad=True), mask=mask)
+        ((states * states).mean() + (final * final).mean()).backward()
+    _bench_pair("lstm_scan", run_lstm_scan, entries)
+
+    pool = AttentionPooling(DIM, hidden_dim=32, rng=np.random.default_rng(6))
+
+    def run_attention_pooling():
+        pool.zero_grad()
+        out = pool(Tensor(x_seq, requires_grad=True), mask=mask)
+        (out * out).mean().backward()
+    _bench_pair("attention_pooling", run_attention_pooling, entries)
+
+    norm = LayerNorm(DIM)
+
+    def run_layer_norm():
+        norm.zero_grad()
+        out = norm(Tensor(x_seq, requires_grad=True))
+        (out * out).mean().backward()
+    _bench_pair("layer_norm", run_layer_norm, entries)
+
+    path = record_bench("engine", entries)
+    print(f"recorded {len(entries)} entries -> {path}")
+
     slowest = min(entry["speedup"] for entry in entries)
     assert slowest >= 1.0, f"a fused kernel regressed below composed speed: {entries}"

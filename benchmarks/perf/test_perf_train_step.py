@@ -3,9 +3,12 @@
 This is the headline engine benchmark: one optimisation step (forward,
 backward, gradient clip, Adam update) on the synthetic Weibo21-shaped
 workload, comparing the seed configuration (composed primitive kernels,
-float64) against the fast path (fused kernels, float32).  The four models
-cover the DTDBD cast: the TextCNN-S student, the BiGRU-S ablation student,
-the StyleLSTM baseline and the MDFEND clean teacher.
+float64) against the fast path (fused kernels, float32).  The models cover
+the DTDBD cast: the TextCNN-S student, the BiGRU-S ablation student, the
+StyleLSTM baseline, the MDFEND clean teacher and the MoSE LSTM-expert
+mixture — three of the five are recurrent, which is where the PR 2
+whole-sequence scan kernels (one graph node per direction instead of one per
+time step) move the needle.
 
 Baseline and fast configurations are timed in alternating rounds
 (best-of-``ROUNDS``) so slow-noisy-neighbour drift on shared machines hits
@@ -26,7 +29,7 @@ from _perf_workload import build_workload, run_train_steps
 
 pytestmark = pytest.mark.perf
 
-MODELS = ("textcnn_s", "bigru", "stylelstm", "mdfend")
+MODELS = ("textcnn_s", "bigru", "stylelstm", "mdfend", "mose")
 STEPS = 15
 ROUNDS = 6
 

@@ -10,6 +10,11 @@ Usage (after ``pip install -e .``)::
 
 Every subcommand prints the corresponding paper-layout table and optionally
 writes the raw results as JSON (``--output``).
+
+Environment variables: ``REPRO_SCALE`` / ``REPRO_SCALE_EN`` (corpus scale),
+``REPRO_EPOCHS`` (training epochs) and ``REPRO_DTYPE`` (``float64`` default;
+``float32`` runs the whole pipeline — loaders, models, training — on the
+engine's fast path, see ``PERFORMANCE.md``).
 """
 
 from __future__ import annotations

@@ -19,6 +19,15 @@ class ExperimentConfig:
     so the full benchmark suite finishes on a laptop-class CPU while keeping
     every domain populated.  Set ``REPRO_SCALE`` / ``REPRO_EPOCHS`` environment
     variables (see :func:`default_chinese_config`) to run closer to paper size.
+
+    ``dtype`` selects the engine compute dtype for the whole pipeline
+    (loaders, models, training): ``"float64"`` is the bit-for-bit seed
+    behaviour, ``"float32"`` the fast path (``REPRO_DTYPE=float32``).
+    :func:`repro.experiments.runner.prepare_data` installs the policy before
+    anything dtype-sensitive is built.  Table VI/VII numbers produced in
+    float32 agree with the float64 tables to well within the run-to-run seed
+    variance (see ``PERFORMANCE.md``); re-check that tolerance after touching
+    kernels before quoting float32 numbers.
     """
 
     dataset: str = "chinese"               # "chinese" (Weibo21-like) or "english"
@@ -36,6 +45,7 @@ class ExperimentConfig:
     dat: DATConfig = field(default_factory=DATConfig)
     dtdbd: DTDBDConfig = field(default_factory=DTDBDConfig)
     student_name: str = "textcnn_s"
+    dtype: str = "float64"
 
     def trainer_config(self, **overrides) -> TrainerConfig:
         base = TrainerConfig(epochs=self.epochs, learning_rate=self.learning_rate)
@@ -55,12 +65,18 @@ def _env_int(name: str, default: int) -> int:
     return int(value) if value else default
 
 
+def _env_str(name: str, default: str) -> str:
+    value = os.environ.get(name)
+    return value if value else default
+
+
 def default_chinese_config(**overrides) -> ExperimentConfig:
     """Default configuration for the Weibo21-like (Chinese) experiments.
 
     ``REPRO_SCALE`` and ``REPRO_EPOCHS`` environment variables override the
     corpus scale and training epochs, which is how a user runs the benchmarks
-    closer to the paper's full dataset size.
+    closer to the paper's full dataset size; ``REPRO_DTYPE=float32`` runs the
+    whole pipeline on the float32 fast path.
     """
     scale = _env_float("REPRO_SCALE", 0.3)
     epochs = _env_int("REPRO_EPOCHS", 8)
@@ -70,6 +86,7 @@ def default_chinese_config(**overrides) -> ExperimentConfig:
         epochs=epochs,
         dat=DATConfig(epochs=epochs, learning_rate=2e-3, alpha=1.0),
         dtdbd=DTDBDConfig(epochs=epochs, learning_rate=2e-3),
+        dtype=_env_str("REPRO_DTYPE", "float64"),
     )
     return config.with_overrides(**overrides) if overrides else config
 
@@ -88,6 +105,7 @@ def default_english_config(**overrides) -> ExperimentConfig:
         epochs=epochs,
         dat=DATConfig(epochs=epochs, learning_rate=2e-3, alpha=1.0),
         dtdbd=DTDBDConfig(epochs=epochs, learning_rate=2e-3),
+        dtype=_env_str("REPRO_DTYPE", "float64"),
     )
     return config.with_overrides(**overrides) if overrides else config
 

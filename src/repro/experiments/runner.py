@@ -37,6 +37,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.metrics import EvaluationReport
 from repro.models import build_model
 from repro.models.base import FakeNewsDetector, ModelConfig
+from repro.tensor import set_default_dtype
 
 
 # --------------------------------------------------------------------------- #
@@ -71,6 +72,10 @@ class DataBundle:
 
 def prepare_data(config: ExperimentConfig) -> DataBundle:
     """Generate the corpus, split it, build the vocabulary and the loaders."""
+    # Install the compute-dtype policy before anything dtype-sensitive is
+    # built (feature channels, parameters, zero states); models constructed
+    # later against this bundle inherit the same policy.
+    set_default_dtype(config.dtype)
     if config.dataset == "chinese":
         dataset = make_weibo21_like(scale=config.scale, seed=config.seed)
     elif config.dataset == "english":

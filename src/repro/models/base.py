@@ -48,6 +48,11 @@ class ModelConfig:
     style_dim: int = STYLE_FEATURE_DIM
     emotion_dim: int = EMOTION_FEATURE_DIM
     seed: int = 0
+    #: Route the padding mask into the recurrent encoders so padded steps
+    #: carry the previous state instead of consuming pad embeddings.  Off by
+    #: default: the paper-table reproductions are pinned to the seed
+    #: behaviour (encoders consume the padded sequence; pooling masks it out).
+    mask_padding: bool = False
 
     def with_overrides(self, **overrides) -> "ModelConfig":
         return replace(self, **overrides)
@@ -112,6 +117,17 @@ class FakeNewsDetector(Module):
     def _build_classifier(self, input_dim: int, rng: np.random.Generator) -> MLP:
         dims = [input_dim, *self.config.mlp_hidden]
         return MLP(dims, self.config.num_classes, dropout=self.config.dropout, rng=rng)
+
+
+def mix_experts(expert_outputs, gate_weights: Tensor) -> Tensor:
+    """Gate-weighted sum of per-expert features.
+
+    ``expert_outputs`` is a sequence of ``(batch, dim)`` tensors and
+    ``gate_weights`` a ``(batch, num_experts)`` softmax; shared by the
+    mixture-of-experts detectors (MDFEND / MMoE / MoSE / M3FEND adapters).
+    """
+    stacked = Tensor.stack(list(expert_outputs), axis=1)  # (batch, experts, dim)
+    return (stacked * gate_weights.unsqueeze(2)).sum(axis=1)
 
 
 def pooled_plm(batch: Batch) -> Tensor:

@@ -26,7 +26,12 @@ class BiGRU(FakeNewsDetector):
         return self.encoder.output_dim
 
     def extract_features(self, batch: Batch) -> Tensor:
-        states, _ = self.encoder(plm_sequence(batch))
+        # With ``mask_padding`` the recurrence stops at each row's last valid
+        # token (the backward direction no longer consumes pad embeddings
+        # before the text); the default reproduces the seed behaviour, where
+        # only the mean pooling masks padding out.
+        mask = batch.mask if self.config.mask_padding else None
+        states, _ = self.encoder(plm_sequence(batch), mask=mask)
         pooled = F.masked_mean(states, batch.mask, axis=1)
         return self.dropout(pooled)
 

@@ -27,7 +27,8 @@ class DualEmotion(FakeNewsDetector):
         return self.encoder.output_dim + self.config.emotion_dim
 
     def extract_features(self, batch: Batch) -> Tensor:
-        states, _ = self.encoder(plm_sequence(batch))
+        mask = batch.mask if self.config.mask_padding else None
+        states, _ = self.encoder(plm_sequence(batch), mask=mask)
         pooled = F.masked_mean(states, batch.mask, axis=1)
         emotion = Tensor(batch.feature("emotion"))
         return self.dropout(Tensor.cat([pooled, emotion], axis=1))

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.loader import Batch
-from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence
+from repro.models.base import FakeNewsDetector, ModelConfig, mix_experts, plm_sequence
 from repro.nn import Dropout, Linear, ModuleList, ReLU, Sequential, TextCNNEncoder
 from repro.tensor import Tensor, functional as F, get_default_dtype
 from repro.utils import spawn_rngs
@@ -37,7 +37,13 @@ class DomainMemoryBank:
                                    + (1.0 - self.momentum) * domain_mean)
 
     def soft_domain_labels(self, features: np.ndarray, temperature: float = 1.0) -> np.ndarray:
-        """Softmax similarity of every feature to every domain memory."""
+        """Softmax similarity of every feature to every domain memory.
+
+        Kept in the naive broadcast-difference form on purpose: the expanded
+        GEMM form (``||f||^2 + ||m||^2 - 2 f.m``) is faster but not
+        bit-identical, and the regenerated paper tables pin the teacher's
+        training trajectory to these exact numerics.
+        """
         # Negative squared distance as similarity.
         diff = features[:, None, :] - self.memory[None, :, :]
         similarity = -np.sum(diff * diff, axis=2) / max(temperature, 1e-8)
@@ -121,8 +127,8 @@ class M3FEND(FakeNewsDetector):
         soft_domains = self.memory.soft_domain_labels(semantic.detach().numpy(),
                                                       temperature=self.memory_temperature)
         gate_weights = F.softmax(self.adapter_gate(Tensor(soft_domains)), axis=-1)
-        adapter_outputs = Tensor.stack([adapter(combined) for adapter in self.adapters], axis=1)
-        mixed = (adapter_outputs * gate_weights.unsqueeze(2)).sum(axis=1)
+        mixed = mix_experts([adapter(combined) for adapter in self.adapters],
+                            gate_weights)
         if self.training:
             self.memory.update(semantic.detach().numpy(), np.asarray(batch.domains))
         return self.dropout(mixed)

@@ -11,7 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.loader import Batch
-from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence, pooled_plm
+from repro.models.base import (
+    FakeNewsDetector,
+    ModelConfig,
+    mix_experts,
+    plm_sequence,
+    pooled_plm,
+)
 from repro.nn import Dropout, Embedding, ExpertGate, ModuleList, TextCNNEncoder
 from repro.tensor import Tensor
 from repro.utils import spawn_rngs
@@ -47,6 +53,6 @@ class MDFEND(FakeNewsDetector):
         summary = pooled_plm(batch)
         domain_vectors = self.domain_embedding(np.asarray(batch.domains))
         gate_weights = self.gate(Tensor.cat([domain_vectors, summary], axis=1))
-        expert_outputs = Tensor.stack([expert(sequence) for expert in self.experts], axis=1)
-        mixed = (expert_outputs * gate_weights.unsqueeze(2)).sum(axis=1)
+        mixed = mix_experts([expert(sequence) for expert in self.experts],
+                            gate_weights)
         return self.dropout(mixed)

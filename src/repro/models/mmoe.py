@@ -3,7 +3,13 @@
 from __future__ import annotations
 
 from repro.data.loader import Batch
-from repro.models.base import FakeNewsDetector, ModelConfig, plm_sequence, pooled_plm
+from repro.models.base import (
+    FakeNewsDetector,
+    ModelConfig,
+    mix_experts,
+    plm_sequence,
+    pooled_plm,
+)
 from repro.nn import LSTM, Dropout, ExpertGate, Linear, ModuleList, Sequential, ReLU
 from repro.tensor import Tensor, functional as F
 from repro.utils import seeded_rng, spawn_rngs
@@ -32,9 +38,8 @@ class MMoE(FakeNewsDetector):
 
     def extract_features(self, batch: Batch) -> Tensor:
         pooled = pooled_plm(batch)
-        expert_outputs = Tensor.stack([expert(pooled) for expert in self.experts], axis=1)
-        weights = self.gate(pooled).unsqueeze(2)  # (batch, experts, 1)
-        mixed = (expert_outputs * weights).sum(axis=1)
+        mixed = mix_experts([expert(pooled) for expert in self.experts],
+                            self.gate(pooled))
         return self.dropout(mixed)
 
 
@@ -61,7 +66,11 @@ class MoSE(FakeNewsDetector):
     def extract_features(self, batch: Batch) -> Tensor:
         sequence = plm_sequence(batch)
         pooled = F.masked_mean(sequence, batch.mask, axis=1)
-        expert_outputs = Tensor.stack([expert(sequence)[1] for expert in self.experts], axis=1)
-        weights = self.gate(pooled).unsqueeze(2)
-        mixed = (expert_outputs * weights).sum(axis=1)
+        # With ``mask_padding`` each expert reads its final state at the row's
+        # last valid token (the mask carries the state through trailing
+        # padding) instead of after consuming the pad embeddings.
+        mask = batch.mask if self.config.mask_padding else None
+        mixed = mix_experts(
+            [expert(sequence, mask=mask)[1] for expert in self.experts],
+            self.gate(pooled))
         return self.dropout(mixed)

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, fused
+from repro.tensor.tensor import _wrap
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 
@@ -13,7 +14,17 @@ class AttentionPooling(Module):
     """Additive attention pooling over ``(batch, seq, features)``.
 
     Each time step is scored by a small MLP; a masked softmax turns the scores
-    into weights and the output is the weighted sum of the step features.
+    into weights and the output is the weighted sum of the step features.  The
+    score -> masked-softmax -> weighted-sum chain runs as a single fused node
+    (:func:`repro.tensor.fused.attention_pooling`) unless fusion is globally
+    disabled; ``pool_composed`` is the ground truth for its parity tests.
+
+    Masked positions receive a large-negative *additive* penalty computed in
+    the scores' own dtype (float32-safe; see
+    :func:`repro.tensor.fused.attention_mask_penalty`), so their weights
+    underflow to exactly zero.  A fully-masked row degrades gracefully: every
+    score gets the same offset, so the softmax reduces to the softmax of the
+    raw (unmasked) scores instead of producing NaNs.
     """
 
     def __init__(self, input_dim: int, hidden_dim: int = 32,
@@ -25,9 +36,19 @@ class AttentionPooling(Module):
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         scores = self.score_out(self.score_hidden(x).tanh())  # (batch, seq, 1)
         scores = scores.squeeze(2)
+        if fused.is_fused_enabled():
+            return fused.attention_pooling(x, scores, mask=mask)
+        return self.pool_composed(x, scores, mask=mask)
+
+    @staticmethod
+    def pool_composed(x: Tensor, scores: Tensor,
+                      mask: np.ndarray | None = None) -> Tensor:
+        """Composed masked-softmax pooling (ground truth for the fused kernel)."""
         if mask is not None:
-            penalty = (1.0 - np.asarray(mask, dtype=scores.data.dtype)) * -1e9
-            scores = scores + Tensor(penalty)
+            penalty = fused.attention_mask_penalty(mask, scores.data.dtype)
+            # _wrap keeps the penalty in the scores' dtype; Tensor() would
+            # coerce it to the *default* dtype and upcast a float32 model.
+            scores = scores + _wrap(penalty)
         weights = F.softmax(scores, axis=1).unsqueeze(2)
         return (x * weights).sum(axis=1)
 

@@ -66,7 +66,12 @@ class Dropout(Module):
 
 
 class LayerNorm(Module):
-    """Layer normalisation over the last dimension."""
+    """Layer normalisation over the last dimension.
+
+    One fused graph node (:func:`repro.tensor.fused.layer_norm`) unless fusion
+    is globally disabled; ``forward_composed`` keeps the primitive chain as the
+    ground truth for the fused kernel's parity tests.
+    """
 
     def __init__(self, normalized_shape: int, eps: float = 1e-5):
         super().__init__()
@@ -75,6 +80,11 @@ class LayerNorm(Module):
         self.bias = init.zeros((normalized_shape,))
 
     def forward(self, x: Tensor) -> Tensor:
+        if fused.is_fused_enabled():
+            return fused.layer_norm(x, self.weight, self.bias, eps=self.eps)
+        return self.forward_composed(x)
+
+    def forward_composed(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
         centred = x - mean
         variance = (centred * centred).mean(axis=-1, keepdims=True)

@@ -4,6 +4,17 @@ The BiGRU baseline, BiGRU-S student, StyleLSTM and MoSE expert networks in the
 paper are built from these blocks.  Sequences are ``(batch, seq, features)``;
 the encoders return both the per-step hidden states and the final state so
 models can choose max/mean pooling or last-state readout.
+
+On the fused fast path (the default) the encoders dispatch to the
+whole-sequence scan kernels :func:`repro.tensor.fused.gru_scan` /
+:func:`repro.tensor.fused.lstm_scan`: one graph node per direction instead of
+one fused node per time step, with the input-side gate projections batched
+into a single GEMM.  The per-step cell loop remains as ``forward_composed`` —
+it is the gradient-parity ground truth for the scan kernels and the baseline
+for the perf benchmarks.  Both paths accept an optional 0/1 ``mask``
+(``(batch, seq)``): masked positions carry the previous state through, so
+padded steps contribute nothing to the states or the gradients, and the final
+state of a trailing-padded row is the state at its last valid token.
 """
 
 from __future__ import annotations
@@ -81,12 +92,27 @@ class LSTMCell(Module):
         return new_hidden, new_cell
 
 
-def _zero_state(batch: int, hidden_dim: int) -> Tensor:
-    return Tensor(np.zeros((batch, hidden_dim), dtype=get_default_dtype()))
+def _zero_state(batch: int, hidden_dim: int, dtype=None) -> Tensor:
+    if dtype is None:
+        dtype = get_default_dtype()
+    return Tensor(np.zeros((batch, hidden_dim), dtype=dtype))
+
+
+def _masked_step(new_state: Tensor, old_state: Tensor, mask, step: int) -> Tensor:
+    """Carry ``old_state`` through positions where ``mask[:, step]`` is 0."""
+    if mask is None:
+        return new_state
+    keep = np.asarray(mask)[:, step].astype(bool)
+    return Tensor.where(keep[:, None], new_state, old_state)
 
 
 class GRU(Module):
-    """Uni- or bi-directional GRU sequence encoder."""
+    """Uni- or bi-directional GRU sequence encoder.
+
+    On the fused path each direction runs as one whole-sequence
+    :func:`repro.tensor.fused.gru_scan` node (O(1) graph nodes in sequence
+    length); ``forward_composed`` keeps the per-step cell loop as ground truth.
+    """
 
     def __init__(self, input_dim: int, hidden_dim: int, bidirectional: bool = False,
                  rng: np.random.Generator | None = None):
@@ -101,13 +127,39 @@ class GRU(Module):
     def output_dim(self) -> int:
         return self.hidden_dim * (2 if self.bidirectional else 1)
 
-    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+    def forward(self, x: Tensor, mask=None) -> tuple[Tensor, Tensor]:
         """Return ``(states, final)``: per-step states and the final state."""
+        if fused.is_fused_enabled():
+            return self.forward_scan(x, mask=mask)
+        return self.forward_composed(x, mask=mask)
+
+    def forward_scan(self, x: Tensor, mask=None) -> tuple[Tensor, Tensor]:
+        batch = x.shape[0]
+        cell = self.forward_cell
+        h0 = _zero_state(batch, self.hidden_dim, dtype=cell.weight_ih.data.dtype)
+        if not self.bidirectional:
+            states = fused.gru_scan(x, h0, cell.weight_ih, cell.weight_hh,
+                                    cell.bias, mask=mask)
+            return states, states[:, -1, :]
+        back = self.backward_cell
+        states = fused.gru_bidir_scan(
+            x, h0, _zero_state(batch, self.hidden_dim,
+                               dtype=back.weight_ih.data.dtype),
+            cell.weight_ih, cell.weight_hh, cell.bias,
+            back.weight_ih, back.weight_hh, back.bias, mask=mask)
+        # Forward final: last step of the forward half; backward final: first
+        # step of the backward half (mask carry makes both the last *valid*).
+        final = Tensor.cat([states[:, -1, :self.hidden_dim],
+                            states[:, 0, self.hidden_dim:]], axis=1)
+        return states, final
+
+    def forward_composed(self, x: Tensor, mask=None) -> tuple[Tensor, Tensor]:
         batch, seq_len, _ = x.shape
         forward_states = []
         state = _zero_state(batch, self.hidden_dim)
         for step in range(seq_len):
-            state = self.forward_cell(x[:, step, :], state)
+            state = _masked_step(self.forward_cell(x[:, step, :], state),
+                                 state, mask, step)
             forward_states.append(state)
         if not self.bidirectional:
             stacked = Tensor.stack(forward_states, axis=1)
@@ -115,7 +167,8 @@ class GRU(Module):
         backward_states = []
         state = _zero_state(batch, self.hidden_dim)
         for step in reversed(range(seq_len)):
-            state = self.backward_cell(x[:, step, :], state)
+            state = _masked_step(self.backward_cell(x[:, step, :], state),
+                                 state, mask, step)
             backward_states.append(state)
         backward_states.reverse()
         merged = [Tensor.cat([f, b], axis=1)
@@ -126,7 +179,11 @@ class GRU(Module):
 
 
 class LSTM(Module):
-    """Uni- or bi-directional LSTM sequence encoder."""
+    """Uni- or bi-directional LSTM sequence encoder.
+
+    Same structure as :class:`GRU`: one :func:`repro.tensor.fused.lstm_scan`
+    node per direction on the fused path, per-step cells as ground truth.
+    """
 
     def __init__(self, input_dim: int, hidden_dim: int, bidirectional: bool = False,
                  rng: np.random.Generator | None = None):
@@ -141,13 +198,42 @@ class LSTM(Module):
     def output_dim(self) -> int:
         return self.hidden_dim * (2 if self.bidirectional else 1)
 
-    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+    def forward(self, x: Tensor, mask=None) -> tuple[Tensor, Tensor]:
+        if fused.is_fused_enabled():
+            return self.forward_scan(x, mask=mask)
+        return self.forward_composed(x, mask=mask)
+
+    def forward_scan(self, x: Tensor, mask=None) -> tuple[Tensor, Tensor]:
+        batch = x.shape[0]
+        cell = self.forward_cell
+        dtype = cell.weight_ih.data.dtype
+        if not self.bidirectional:
+            states = fused.lstm_scan(
+                x, _zero_state(batch, self.hidden_dim, dtype=dtype),
+                _zero_state(batch, self.hidden_dim, dtype=dtype),
+                cell.weight_ih, cell.weight_hh, cell.bias, mask=mask)
+            return states, states[:, -1, :]
+        back = self.backward_cell
+        states = fused.lstm_bidir_scan(
+            x, _zero_state(batch, self.hidden_dim, dtype=dtype),
+            _zero_state(batch, self.hidden_dim, dtype=dtype),
+            _zero_state(batch, self.hidden_dim, dtype=dtype),
+            _zero_state(batch, self.hidden_dim, dtype=dtype),
+            cell.weight_ih, cell.weight_hh, cell.bias,
+            back.weight_ih, back.weight_hh, back.bias, mask=mask)
+        final = Tensor.cat([states[:, -1, :self.hidden_dim],
+                            states[:, 0, self.hidden_dim:]], axis=1)
+        return states, final
+
+    def forward_composed(self, x: Tensor, mask=None) -> tuple[Tensor, Tensor]:
         batch, seq_len, _ = x.shape
         forward_states = []
         hidden = _zero_state(batch, self.hidden_dim)
         cell = _zero_state(batch, self.hidden_dim)
         for step in range(seq_len):
-            hidden, cell = self.forward_cell(x[:, step, :], hidden, cell)
+            new_hidden, new_cell = self.forward_cell(x[:, step, :], hidden, cell)
+            hidden = _masked_step(new_hidden, hidden, mask, step)
+            cell = _masked_step(new_cell, cell, mask, step)
             forward_states.append(hidden)
         if not self.bidirectional:
             stacked = Tensor.stack(forward_states, axis=1)
@@ -156,7 +242,9 @@ class LSTM(Module):
         hidden = _zero_state(batch, self.hidden_dim)
         cell = _zero_state(batch, self.hidden_dim)
         for step in reversed(range(seq_len)):
-            hidden, cell = self.backward_cell(x[:, step, :], hidden, cell)
+            new_hidden, new_cell = self.backward_cell(x[:, step, :], hidden, cell)
+            hidden = _masked_step(new_hidden, hidden, mask, step)
+            cell = _masked_step(new_cell, cell, mask, step)
             backward_states.append(hidden)
         backward_states.reverse()
         merged = [Tensor.cat([f, b], axis=1)

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.tensor import fused
 from repro.tensor.dtype import get_default_dtype
-from repro.tensor.tensor import Tensor, _GRAD_ENABLED  # noqa: F401
+from repro.tensor.tensor import Tensor, _GRAD_ENABLED, _wrap  # noqa: F401
 
 
 # --------------------------------------------------------------------------- #
@@ -53,7 +53,9 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
     """Composed-primitive softmax (ground truth for the fused kernel)."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    # _wrap keeps the shift constant in x's own dtype; Tensor() would coerce
+    # it to the default policy and upcast a float32 input under float64.
+    shifted = x - _wrap(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
@@ -67,7 +69,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
     """Composed-primitive log-softmax (ground truth for the fused kernel)."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _wrap(x.data.max(axis=axis, keepdims=True))
     logsumexp = shifted.exp().sum(axis=axis, keepdims=True).log()
     return shifted - logsumexp
 

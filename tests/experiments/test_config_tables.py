@@ -46,6 +46,15 @@ class TestConfigs:
         assert config.scale == pytest.approx(0.77)
         assert config.epochs == 3
 
+    def test_dtype_defaults_to_float64(self):
+        assert default_chinese_config().dtype == "float64"
+        assert default_english_config().dtype == "float64"
+
+    def test_repro_dtype_env_selects_float32(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DTYPE", "float32")
+        assert default_chinese_config().dtype == "float32"
+        assert default_english_config().dtype == "float32"
+
     def test_with_overrides(self):
         config = default_chinese_config().with_overrides(scale=0.5, max_length=10)
         assert config.scale == 0.5 and config.max_length == 10

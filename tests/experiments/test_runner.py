@@ -47,6 +47,30 @@ class TestPrepareData:
         with pytest.raises(ValueError):
             prepare_data(config.with_overrides(dataset="german"))
 
+    def test_dtype_policy_applied_end_to_end(self, config):
+        """``dtype="float32"`` (REPRO_DTYPE) must reach loaders and models."""
+        from repro.experiments import train_baseline
+        from repro.tensor import set_default_dtype
+
+        try:
+            float_bundle = prepare_data(config.with_overrides(dtype="float32"))
+            batch = next(iter(float_bundle.train_loader))
+            assert batch.feature("plm").dtype == np.float32
+            model, report = train_baseline("bigru", float_bundle, epochs=1)
+            assert all(p.dtype == np.float32 for p in model.parameters())
+            assert 0.0 <= report.overall_f1 <= 1.0
+        finally:
+            set_default_dtype("float64")
+
+    def test_invalid_dtype_rejected(self, config):
+        from repro.tensor import set_default_dtype
+
+        try:
+            with pytest.raises(ValueError):
+                prepare_data(config.with_overrides(dtype="float16"))
+        finally:
+            set_default_dtype("float64")
+
 
 class TestSinglePipelines:
     def test_train_baseline(self, bundle):

@@ -160,3 +160,38 @@ class TestStudentArchitectures:
         student = build_model("textcnn_s", model_config)
         teacher = build_model("m3fend", model_config)
         assert student.num_parameters() < teacher.num_parameters()
+
+
+class TestMaskPaddingOption:
+    """``ModelConfig.mask_padding`` routes the padding mask into the RNNs."""
+
+    @staticmethod
+    def _padded(batch):
+        """The fixture corpus has no short texts; truncate some rows' masks."""
+        import dataclasses
+
+        mask = batch.mask.copy()
+        mask[::2, mask.shape[1] // 2:] = 0.0
+        return dataclasses.replace(batch, mask=mask)
+
+    @pytest.mark.parametrize("name", ("bigru", "stylelstm", "mose", "dualemo"))
+    def test_masked_encoding_differs_on_padded_batches(self, model_config,
+                                                       sample_batch, name):
+        batch = self._padded(sample_batch)
+        default = build_model(name, model_config)
+        masked = build_model(name, model_config.with_overrides(mask_padding=True))
+        default.eval(), masked.eval()
+        default_logits = default(batch).numpy()
+        masked_logits = masked(batch).numpy()
+        assert np.isfinite(masked_logits).all()
+        # Same parameters (same seed); only the padded-step handling differs.
+        assert not np.allclose(default_logits, masked_logits)
+
+    @pytest.mark.parametrize("name", ("bigru", "stylelstm", "mose"))
+    def test_masked_models_train(self, model_config, sample_batch, name):
+        model = build_model(name, model_config.with_overrides(mask_padding=True))
+        loss, logits = model.compute_loss(self._padded(sample_batch))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert any(p.grad is not None and np.abs(p.grad).sum() > 0
+                   for p in model.parameters())

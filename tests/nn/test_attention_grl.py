@@ -31,6 +31,47 @@ class TestAttentionPooling:
         assert out.min() >= x.min() - 1e-9
         assert out.max() <= x.max() + 1e-9
 
+    @pytest.mark.parametrize("fused_on", (True, False))
+    def test_fully_masked_row_stays_finite(self, fused_on):
+        """Regression: a row with no valid tokens must not produce NaNs.
+
+        The additive penalty shifts every score equally, so the softmax
+        degrades to the softmax of the raw scores instead of 0/0.
+        """
+        from repro.tensor import fused_kernels
+
+        pool = AttentionPooling(4, rng=seeded_rng(0))
+        x = Tensor(np.random.default_rng(2).standard_normal((3, 5, 4)),
+                   requires_grad=True)
+        mask = np.ones((3, 5))
+        mask[1, :] = 0.0  # fully masked row
+        with fused_kernels(fused_on):
+            out = pool(x, mask=mask)
+            out.sum().backward()
+        assert np.isfinite(out.numpy()).all()
+        assert np.isfinite(x.grad).all()
+
+    @pytest.mark.parametrize("fused_on", (True, False))
+    def test_mask_penalty_keeps_float32_compute_dtype(self, fused_on):
+        """The additive mask must be built in the scores' dtype (float32-safe).
+
+        A float64 penalty constant would silently upcast a float32 model's
+        scores and everything downstream of the pooling.
+        """
+        from repro.tensor import default_dtype, fused_kernels
+
+        with default_dtype("float32"):
+            pool = AttentionPooling(4, rng=seeded_rng(0))
+            x = Tensor(np.random.default_rng(3).standard_normal((2, 5, 4)))
+            assert x.dtype == np.float32
+        mask = np.array([[1.0, 1.0, 1.0, 0.0, 0.0], [1.0, 1.0, 0.0, 0.0, 0.0]])
+        # Outside the float32 scope the *default* policy is float64 again; the
+        # pooling must still stay in the model's own dtype.
+        with fused_kernels(fused_on):
+            out = pool(x, mask=mask)
+        assert out.dtype == np.float32
+        assert np.isfinite(out.numpy()).all()
+
 
 class TestExpertGate:
     def test_softmax_weights(self):

@@ -90,6 +90,35 @@ class TestLayerNorm:
         out = layer(x).numpy()
         assert abs(out.mean() - 1.0) < 0.2
 
+    def test_fused_matches_composed(self):
+        from repro.tensor import fused_kernels
+
+        layer = LayerNorm(6)
+        x = np.random.default_rng(1).standard_normal((4, 6)) * 3 + 2
+
+        def run(fused_on):
+            with fused_kernels(fused_on):
+                layer.zero_grad()
+                xt = Tensor(x.copy(), requires_grad=True)
+                (layer(xt) ** 2).sum().backward()
+                return xt.grad.copy(), [p.grad.copy() for p in layer.parameters()]
+
+        fused_xg, fused_pg = run(True)
+        composed_xg, composed_pg = run(False)
+        np.testing.assert_allclose(fused_xg, composed_xg, atol=1e-9)
+        for got, expected in zip(fused_pg, composed_pg):
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_single_node_on_fused_path(self):
+        from repro.tensor import graph_nodes_created
+
+        layer = LayerNorm(5)
+        x = Tensor(np.random.default_rng(2).standard_normal((3, 5)),
+                   requires_grad=True)
+        before = graph_nodes_created()
+        layer(x)
+        assert graph_nodes_created() == before + 1
+
 
 class TestMLP:
     def test_output_dim(self):

@@ -65,6 +65,45 @@ class TestGRU:
         assert np.abs(x.grad[:, 0, :]).sum() > 0  # earliest step received gradient
 
 
+class TestMaskedEncoding:
+    """Mask semantics shared by both paths (scan kernels and per-step cells)."""
+
+    @pytest.mark.parametrize("encoder_cls", (GRU, LSTM))
+    @pytest.mark.parametrize("fused_on", (True, False))
+    def test_padded_rows_ignore_trailing_steps(self, encoder_cls, fused_on):
+        from repro.tensor import fused_kernels
+
+        encoder = encoder_cls(4, 3, bidirectional=True, rng=seeded_rng(0))
+        x = np.random.default_rng(3).standard_normal((2, 6, 4))
+        mask = np.array([[1.0] * 6, [1.0, 1.0, 1.0, 0.0, 0.0, 0.0]])
+        with fused_kernels(fused_on):
+            _, final_masked = encoder(Tensor(x), mask=mask)
+            _, final_truncated = encoder(Tensor(x[1:2, :3]))
+        np.testing.assert_allclose(final_masked.numpy()[1], final_truncated.numpy()[0],
+                                   atol=1e-12)
+
+    @pytest.mark.parametrize("encoder_cls", (GRU, LSTM))
+    def test_mask_changes_padded_batch_encoding(self, encoder_cls):
+        encoder = encoder_cls(4, 3, bidirectional=True, rng=seeded_rng(1))
+        x = np.random.default_rng(4).standard_normal((2, 6, 4))
+        mask = np.array([[1.0] * 6, [1.0, 1.0, 0.0, 0.0, 0.0, 0.0]])
+        _, final_masked = encoder(Tensor(x), mask=mask)
+        _, final_unmasked = encoder(Tensor(x))
+        # The fully valid row is identical; the padded row is not.
+        np.testing.assert_allclose(final_masked.numpy()[0], final_unmasked.numpy()[0])
+        assert not np.allclose(final_masked.numpy()[1], final_unmasked.numpy()[1])
+
+    def test_masked_gradients_skip_dead_steps(self):
+        gru = GRU(3, 2, bidirectional=False, rng=seeded_rng(2))
+        x = Tensor(np.random.default_rng(5).standard_normal((1, 5, 3)),
+                   requires_grad=True)
+        mask = np.array([[1.0, 1.0, 0.0, 0.0, 0.0]])
+        _, final = gru(x, mask=mask)
+        final.sum().backward()
+        np.testing.assert_allclose(x.grad[:, 2:, :], 0.0)
+        assert np.abs(x.grad[:, :2, :]).sum() > 0
+
+
 class TestLSTM:
     def test_unidirectional_shapes(self):
         lstm = LSTM(5, 3, rng=seeded_rng(0))
