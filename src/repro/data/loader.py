@@ -60,6 +60,7 @@ class DataLoader:
         self.max_length = max_length
         self.batch_size = batch_size
         self.shuffle = shuffle
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._tokenizer = tokenizer or WhitespaceTokenizer()
 
@@ -107,6 +108,19 @@ class DataLoader:
             indices=self._identity[indices] if isinstance(indices, slice) else indices,
             features={name: values[indices] for name, values in self.features.items()},
         )
+
+    def reseed(self, seed: int | None = None) -> None:
+        """Restore the shuffle stream to its constructor state (or ``seed``).
+
+        The epoch shuffle draws from a mutable generator, so the batch order
+        seen by a training run depends on how many epochs were consumed
+        before it.  Callers that share one loader across independent runs
+        (e.g. the benchmark fixtures) reseed between runs so every run sees
+        the same deterministic stream regardless of what ran earlier.
+        """
+        if seed is not None:
+            self._seed = seed
+        self._rng = np.random.default_rng(self._seed)
 
     def __iter__(self) -> Iterator[Batch]:
         for indices in batched_indices(len(self.dataset), self.batch_size,

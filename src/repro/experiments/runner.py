@@ -38,6 +38,7 @@ from repro.metrics import EvaluationReport
 from repro.models import build_model
 from repro.models.base import FakeNewsDetector, ModelConfig
 from repro.tensor import set_default_dtype
+from repro.utils import set_global_seed
 
 
 # --------------------------------------------------------------------------- #
@@ -61,6 +62,20 @@ class DataBundle:
     def num_domains(self) -> int:
         return self.dataset.num_domains
 
+    def reseed(self) -> None:
+        """Reset every mutable random stream this bundle owns.
+
+        Restores the three loaders' shuffle generators to their constructor
+        state and re-installs the experiment seed as the process-wide fallback
+        seed.  After a ``reseed()`` a pipeline run over this bundle produces
+        exactly the numbers it would produce against a freshly built bundle —
+        which is how the benchmark suite keeps every table reproducible both
+        standalone and in a full collection run.
+        """
+        for loader in (self.train_loader, self.val_loader, self.test_loader):
+            loader.reseed()
+        set_global_seed(self.config.seed)
+
     def model_config(self, seed_offset: int = 0, **overrides) -> ModelConfig:
         base = self.config.model.with_overrides(
             plm_dim=self.config.plm_dim,
@@ -74,8 +89,15 @@ def prepare_data(config: ExperimentConfig) -> DataBundle:
     """Generate the corpus, split it, build the vocabulary and the loaders."""
     # Install the compute-dtype policy before anything dtype-sensitive is
     # built (feature channels, parameters, zero states); models constructed
-    # later against this bundle inherit the same policy.
+    # later against this bundle inherit the same policy.  The experiment seed
+    # also becomes the process-wide fallback seed, so components built without
+    # an explicit rng (e.g. a bare Dropout) stay reproducible run-to-run.
+    # Both installs are process-global: interleaving prepare_data calls for
+    # several configs leaves the *last* config's policy/seed active, so a
+    # caller juggling bundles should invoke bundle.reseed() before training
+    # against an earlier one (the benchmark fixtures do exactly that).
     set_default_dtype(config.dtype)
+    set_global_seed(config.seed)
     if config.dataset == "chinese":
         dataset = make_weibo21_like(scale=config.scale, seed=config.seed)
     elif config.dataset == "english":

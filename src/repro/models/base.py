@@ -19,7 +19,7 @@ import numpy as np
 from repro.data.loader import Batch
 from repro.encoders.features import EMOTION_FEATURE_DIM, STYLE_FEATURE_DIM
 from repro.nn import MLP, CrossEntropyLoss, Module
-from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor import Tensor, functional as F, fused, no_grad
 
 
 @dataclass
@@ -122,11 +122,19 @@ class FakeNewsDetector(Module):
 def mix_experts(expert_outputs, gate_weights: Tensor) -> Tensor:
     """Gate-weighted sum of per-expert features.
 
-    ``expert_outputs`` is a sequence of ``(batch, dim)`` tensors and
-    ``gate_weights`` a ``(batch, num_experts)`` softmax; shared by the
-    mixture-of-experts detectors (MDFEND / MMoE / MoSE / M3FEND adapters).
+    ``expert_outputs`` is a sequence of ``(batch, dim)`` tensors — or an
+    already lane-stacked ``(batch, num_experts, dim)`` tensor, as produced by
+    the fused expert scan — and ``gate_weights`` a ``(batch, num_experts)``
+    softmax; shared by the mixture-of-experts detectors (MDFEND / MMoE /
+    MoSE / M3FEND adapters).  On the fused fast path the mixture runs as the
+    single-node :func:`repro.tensor.fused.mix_experts` kernel.
     """
-    stacked = Tensor.stack(list(expert_outputs), axis=1)  # (batch, experts, dim)
+    if isinstance(expert_outputs, Tensor):
+        stacked = expert_outputs
+    else:
+        stacked = Tensor.stack(list(expert_outputs), axis=1)  # (batch, experts, dim)
+    if fused.is_fused_enabled():
+        return fused.mix_experts(stacked, gate_weights)
     return (stacked * gate_weights.unsqueeze(2)).sum(axis=1)
 
 

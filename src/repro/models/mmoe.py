@@ -11,8 +11,9 @@ from repro.models.base import (
     pooled_plm,
 )
 from repro.nn import LSTM, Dropout, ExpertGate, Linear, ModuleList, Sequential, ReLU
-from repro.tensor import Tensor, functional as F
-from repro.utils import seeded_rng, spawn_rngs
+from repro.nn.recurrent import lstm_expert_scan
+from repro.tensor import Tensor, functional as F, fused
+from repro.utils import spawn_rngs
 
 
 class MMoE(FakeNewsDetector):
@@ -70,7 +71,15 @@ class MoSE(FakeNewsDetector):
         # last valid token (the mask carries the state through trailing
         # padding) instead of after consuming the pad embeddings.
         mask = batch.mask if self.config.mask_padding else None
-        mixed = mix_experts(
-            [expert(sequence, mask=mask)[1] for expert in self.experts],
-            self.gate(pooled))
+        if fused.is_fused_enabled():
+            # All experts advance as lanes of ONE scan node (same input, N
+            # weight sets); the final step holds every expert's read-out.
+            states = lstm_expert_scan(self.experts, sequence, mask=mask)
+            finals = states[:, -1, :].reshape(
+                len(batch), len(self.experts), self.config.expert_hidden)
+            mixed = mix_experts(finals, self.gate(pooled))
+        else:
+            mixed = mix_experts(
+                [expert(sequence, mask=mask)[1] for expert in self.experts],
+                self.gate(pooled))
         return self.dropout(mixed)

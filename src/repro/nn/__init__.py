@@ -13,7 +13,7 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.conv import Conv1d, GlobalMaxPool1d, GlobalMeanPool1d, TextCNNEncoder
-from repro.nn.recurrent import GRU, GRUCell, LSTM, LSTMCell
+from repro.nn.recurrent import GRU, GRUCell, LSTM, LSTMCell, lstm_expert_scan
 from repro.nn.attention import AttentionPooling, ExpertGate
 from repro.nn.grl import GradientReversal, gradient_reversal
 from repro.nn.losses import (
@@ -30,7 +30,7 @@ __all__ = [
     "Linear", "Embedding", "Dropout", "LayerNorm", "MLP",
     "ReLU", "Tanh", "Sigmoid", "GELU",
     "Conv1d", "GlobalMaxPool1d", "GlobalMeanPool1d", "TextCNNEncoder",
-    "GRU", "GRUCell", "LSTM", "LSTMCell",
+    "GRU", "GRUCell", "LSTM", "LSTMCell", "lstm_expert_scan",
     "AttentionPooling", "ExpertGate",
     "GradientReversal", "gradient_reversal",
     "CrossEntropyLoss", "BCEWithLogitsLoss", "MSELoss", "KLDistillationLoss",

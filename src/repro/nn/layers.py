@@ -52,14 +52,20 @@ class Embedding(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout with a module-local random generator."""
+    """Inverted dropout with a module-local random generator.
+
+    Without an explicit ``rng`` the layer draws from the experiment-wide
+    fallback stream (see :func:`repro.utils.set_global_seed`) instead of an
+    unseeded generator, so same-seed runs stay reproducible even for models
+    built without threading a generator through.
+    """
 
     def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, training=self.training, rng=self._rng)

@@ -6,10 +6,11 @@ the encoders return both the per-step hidden states and the final state so
 models can choose max/mean pooling or last-state readout.
 
 On the fused fast path (the default) the encoders dispatch to the
-whole-sequence scan kernels :func:`repro.tensor.fused.gru_scan` /
-:func:`repro.tensor.fused.lstm_scan`: one graph node per direction instead of
-one fused node per time step, with the input-side gate projections batched
-into a single GEMM.  The per-step cell loop remains as ``forward_composed`` —
+whole-sequence scan kernels — thin wrappers over the N-lane core
+:func:`repro.tensor.fused.lane_scan`: one graph node per encoder pass instead
+of one fused node per time step, with the input-side gate projections batched
+into a single GEMM.  :func:`lstm_expert_scan` exposes the expert-lane form
+(N recurrences over the same input in one scan) used by MoSE.  The per-step cell loop remains as ``forward_composed`` —
 it is the gradient-parity ground truth for the scan kernels and the baseline
 for the perf benchmarks.  Both paths accept an optional 0/1 ``mask``
 (``(batch, seq)``): masked positions carry the previous state through, so
@@ -96,6 +97,35 @@ def _zero_state(batch: int, hidden_dim: int, dtype=None) -> Tensor:
     if dtype is None:
         dtype = get_default_dtype()
     return Tensor(np.zeros((batch, hidden_dim), dtype=dtype))
+
+
+def lstm_expert_scan(experts, x: Tensor, mask=None) -> Tensor:
+    """Run N unidirectional LSTM experts over the same input in ONE scan node.
+
+    ``experts`` is a sequence of unidirectional :class:`LSTM` encoders that
+    all read ``x`` (``(batch, seq, features)``); each becomes one lane of
+    :func:`repro.tensor.fused.lane_scan`, so the whole mixture advances in a
+    single time loop (one batched ``(N, B, H) @ (N, H, 4H)`` matmul per step)
+    instead of N sequential :func:`repro.tensor.fused.lstm_scan` calls.
+    Returns the lane-concatenated states ``(batch, seq, N * hidden)`` with
+    expert ``n`` in the feature block ``[n*H : (n+1)*H]``; with a ``mask``,
+    ``states[:, -1]`` holds each expert's state at the row's last valid token
+    (identical semantics to calling each expert separately).
+    """
+    experts = list(experts)
+    if any(getattr(e, "bidirectional", False) for e in experts):
+        raise ValueError("lstm_expert_scan requires unidirectional experts")
+    cells = [e.forward_cell for e in experts]
+    batch = x.shape[0]
+
+    def zero_states():
+        return [_zero_state(batch, cell.hidden_dim, dtype=cell.weight_ih.data.dtype)
+                for cell in cells]
+
+    return fused.lane_scan(
+        "lstm", x, zero_states(), zero_states(),
+        [cell.weight_ih for cell in cells], [cell.weight_hh for cell in cells],
+        [cell.bias for cell in cells], mask=mask)
 
 
 def _masked_step(new_state: Tensor, old_state: Tensor, mask, step: int) -> Tensor:

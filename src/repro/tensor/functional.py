@@ -21,6 +21,7 @@ import numpy as np
 from repro.tensor import fused
 from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor, _GRAD_ENABLED, _wrap  # noqa: F401
+from repro.utils import fallback_rng
 
 
 # --------------------------------------------------------------------------- #
@@ -205,7 +206,7 @@ def dropout(x: Tensor, p: float, training: bool,
         return x
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else fallback_rng()
     # Draw uniforms directly in the compute dtype when it is float32: halves
     # the RNG work and avoids a cast on the fast path.
     draw_dtype = np.float32 if x.data.dtype == np.float32 else np.float64
@@ -238,8 +239,19 @@ def normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
 def masked_mean(x: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
     """Mean over ``axis`` counting only positions where ``mask`` is 1.
 
-    ``x`` is typically ``(batch, seq, features)`` and ``mask`` ``(batch, seq)``.
+    ``x`` is typically ``(batch, seq, features)`` and ``mask`` ``(batch, seq)``;
+    that hot case runs as the single-node :func:`repro.tensor.fused.masked_mean`
+    kernel when fusion is enabled.
     """
+    mask = np.asarray(mask)
+    if (fused.is_fused_enabled() and axis == 1 and x.ndim == 3
+            and mask.ndim == 2):
+        return fused.masked_mean(x, mask)
+    return masked_mean_reference(x, mask, axis=axis)
+
+
+def masked_mean_reference(x: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
+    """Composed-primitive masked mean (ground truth for the fused kernel)."""
     mask = np.asarray(mask, dtype=x.data.dtype)
     expanded = Tensor(mask[..., None]) if x.ndim == mask.ndim + 1 else Tensor(mask)
     total = (x * expanded).sum(axis=axis)

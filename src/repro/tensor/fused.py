@@ -16,22 +16,28 @@ Kernel inventory
 ``distillation_kl``   temperature-scaled ``tau^2 KL(teacher || student)``
 ``gru_step``          one fused GRU cell step
 ``lstm_step``         one fused LSTM cell step (two-node pair ``h``/``c``)
-``gru_scan``          whole-sequence GRU scan (one node for all ``T`` steps)
-``lstm_scan``         whole-sequence LSTM scan (one node for all ``T`` steps)
+``lane_scan``         the N-lane whole-sequence recurrent scan core
+``gru_scan``          whole-sequence GRU scan (single-lane ``lane_scan``)
+``lstm_scan``         whole-sequence LSTM scan (single-lane ``lane_scan``)
 ``attention_pooling`` score -> masked softmax -> weighted sum over time
+``masked_mean``       mask-weighted mean over the time axis
+``mix_experts``       gate-weighted mixture of stacked expert features
 ``layer_norm``        layer normalisation over the last axis
 ``conv1d``            valid 1-D convolution via an ``as_strided`` unfold
 
-The scan kernels consume ``(batch, seq, features)`` plus the initial state,
-precompute the input-side gate projections for the whole sequence in one GEMM
-and run the per-step recurrence in plain NumPy inside a single graph node; the
-backward-through-time pass is one reverse loop over per-step gate activations
-stashed during the forward.  An optional 0/1 ``mask`` carries the previous
-state through padded positions (and skips columns that are dead for the whole
-batch).  The bidirectional encoders use the dedicated lane-batched
-``gru_bidir_scan`` / ``lstm_bidir_scan``; the unidirectional kernels'
-``reverse=True`` flag scans right-to-left and is exercised by the parity
-tests (no production call site currently needs a lone reversed direction).
+All whole-sequence recurrence routes through :func:`lane_scan` — the single
+backward-through-time implementation in the engine.  It consumes
+``(batch, seq, features)`` plus per-lane initial states and weight sets,
+precomputes the input-side gate projections for every lane in one GEMM, and
+runs a single per-step loop over lane-stacked ``(lanes, batch, ·)`` arrays
+inside one graph node; the backward pass is one reverse loop over per-step
+gate activations stashed during the forward.  An optional 0/1 ``mask``
+carries the previous state through padded positions (and skips steps that are
+dead for the whole batch).  ``gru_scan`` / ``lstm_scan`` are one-lane
+wrappers (their ``reverse=True`` flag scans right-to-left and is exercised by
+the parity tests); ``gru_bidir_scan`` / ``lstm_bidir_scan`` run
+(forward, backward) lanes; MoSE's mixture of sequential experts runs all N
+expert lanes in one scan via ``repro.nn.recurrent.lstm_expert_scan``.
 
 Every kernel is verified against its composed-primitive counterpart by
 numerical-gradient parity tests in ``tests/tensor/test_fused.py`` and — for
@@ -342,22 +348,42 @@ def lstm_step(x: Tensor, hidden: Tensor, cell: Tensor, weight_ih: Tensor,
 
 
 # --------------------------------------------------------------------------- #
-# Whole-sequence recurrent scans                                               #
+# Whole-sequence recurrent scans: the N-lane core                              #
 # --------------------------------------------------------------------------- #
-# Implementation notes shared by the four scan kernels below:
+# There is exactly ONE backward-through-time implementation in this module:
+# :func:`lane_scan`.  It runs a single time loop over lane-stacked
+# ``(lanes, batch, ·)`` arrays, parameterised by cell type (GRU or LSTM gate
+# math share the stash layout, mask carry, dead-step skip and the analytic
+# backward).  A *lane* is one independent recurrence reading the same input
+# sequence with its own weight set:
+#
+# * one lane                 -> ``gru_scan`` / ``lstm_scan``
+# * (forward, backward) lanes -> ``gru_bidir_scan`` / ``lstm_bidir_scan``
+#   (the backward lane consumes time right-to-left via pre-flipped inputs)
+# * (expert_0 .. expert_{N-1}) lanes -> MoSE's mixture of sequential experts,
+#   all N experts advancing inside one loop instead of N sequential scans.
+#
+# The four public scan kernels below are thin wrappers that adapt their
+# historical signatures onto the core; MoSE dispatches through
+# ``repro.nn.recurrent.lstm_expert_scan``.
+#
+# Implementation notes:
 #
 # * All sequence-shaped internals are *time-major* — stash arrays are indexed
 #   ``stash[t]`` so every per-step read/write touches a contiguous block.  The
 #   (batch, seq, ...) public layout is produced/consumed via one bulk
 #   transpose at the node boundary.  (With batch-major stashes every per-step
 #   ufunc ran on a strided view, which profiling showed cost ~2x.)
-# * Reversed scans flip their inputs once up front and their outputs once at
+# * Reversed lanes flip their inputs once up front and their outputs once at
 #   the end, so the loop itself always runs ``t = 0..T-1`` over contiguous
 #   memory.
 # * Gate activations are computed straight into the backward stash (or into
 #   scratch when not recording) with in-place ufuncs — the loops are
 #   Python-call-bound at the paper's layer sizes, so call count and
-#   contiguity, not FLOPs, dominate.
+#   contiguity, not FLOPs, dominate.  Lane-stacking exists for the same
+#   reason: per step, all lanes share one batched ``(N, B, H) @ (N, H, G*H)``
+#   matmul and one ufunc call per gate, so the Python overhead is O(T), not
+#   O(T * lanes).
 
 
 def _sigmoid_into(x: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -392,151 +418,313 @@ def _prepare_scan_mask(mask, batch: int, seq_len: int, dtype):
     return mask_tm, mask_arr.sum(axis=0) > 0
 
 
-def gru_scan(x: Tensor, h0: Tensor, weight_ih: Tensor, weight_hh: Tensor,
-             bias: Tensor, mask=None, reverse: bool = False) -> Tensor:
-    """Fused whole-sequence GRU: ``(batch, seq, features) -> (batch, seq, hidden)``.
+def lane_scan(cell: str, x: Tensor, h0, c0, weight_ih, weight_hh, bias,
+              mask=None, lane_reverse=None) -> Tensor:
+    """N-lane whole-sequence recurrent scan — the single BPTT core.
 
-    The input-side gate projections for the entire sequence are computed in a
-    single GEMM; only the hidden-side projection runs per step.  The whole
-    scan is one graph node whose backward replays the recurrence in reverse
-    (per-step gate activations are stashed during the forward — the memory
-    cost of collapsing O(T) nodes into one).  ``mask`` (0/1, ``(batch, seq)``)
-    carries the previous state through padded positions; ``reverse=True``
-    scans right-to-left, with ``states[:, t]`` holding the state *after*
-    consuming ``x[:, t]`` in scan order either way.
+    ``cell`` is ``"gru"`` or ``"lstm"``.  ``x`` is the shared input
+    ``(batch, seq, features)``; ``h0`` (and ``c0`` for LSTM) are per-lane
+    initial states ``(batch, hidden)``; ``weight_ih`` / ``weight_hh`` /
+    ``bias`` are per-lane weight sets with the cells' gate layouts
+    (``[reset, update, new]`` for GRU, ``[input, forget, candidate, output]``
+    for LSTM).  ``lane_reverse[n]`` scans lane ``n`` right-to-left (inputs are
+    flipped once up front, outputs flipped back once at the end, so the loop
+    itself always runs ``t = 0..T-1`` over contiguous memory).  ``mask``
+    (0/1, ``(batch, seq)``) is shared by all lanes and carries the previous
+    state through padded positions; steps that are padding for every row in
+    *every* lane skip their recurrence GEMM outright.
+
+    Returns one graph node of shape ``(batch, seq, num_lanes * hidden)`` with
+    lane ``n`` occupying the feature block ``[n*H : (n+1)*H]``;
+    ``states[:, t]`` holds each lane's state *after* consuming ``x[:, t]`` in
+    that lane's scan order.  The input-side gate projections of all lanes run
+    as one up-front GEMM against the lane-concatenated ``weight_ih``; per step
+    the hidden-side projections are one batched ``(N, B, H) @ (N, H, G*H)``
+    matmul.  The backward is the same loop in reverse over per-step gate
+    activations stashed during the forward, with the weight gradients
+    accumulated by whole-sequence GEMMs at the end.
     """
+    if cell not in ("gru", "lstm"):
+        raise ValueError(f"unknown cell type '{cell}' (use 'gru' or 'lstm')")
+    is_lstm = cell == "lstm"
+    num_gates = 4 if is_lstm else 3
+    h0 = tuple(h0)
+    c0 = tuple(c0) if is_lstm else ()
+    weight_ih, weight_hh, bias = tuple(weight_ih), tuple(weight_hh), tuple(bias)
+    num_lanes = len(weight_ih)
+    if not (len(weight_hh) == len(bias) == len(h0) == num_lanes) or \
+            (is_lstm and len(c0) != num_lanes):
+        raise ValueError("per-lane argument lists must all have the same length")
+    if lane_reverse is None:
+        lane_reverse = (False,) * num_lanes
+    lane_reverse = tuple(bool(r) for r in lane_reverse)
+    if len(lane_reverse) != num_lanes:
+        raise ValueError("lane_reverse must have one entry per lane")
+
     batch, seq_len, _ = x.data.shape
     if seq_len == 0:
-        raise ValueError("gru_scan requires at least one time step")
-    hidden_dim = h0.data.shape[-1]
+        raise ValueError("lane_scan requires at least one time step")
+    hidden_dim = h0[0].data.shape[-1]
+    gw = num_gates * hidden_dim
     dtype = x.data.dtype
-    w_hh = weight_hh.data
-    gates = x.data.reshape(batch * seq_len, -1) @ weight_ih.data + bias.data
-    gates_tm = gates.reshape(batch, seq_len, 3 * hidden_dim).transpose(1, 0, 2)
-    if reverse:
-        gates_tm = gates_tm[::-1]
-    gates_tm = np.ascontiguousarray(gates_tm)
+
+    # Input-side projections for every lane in one GEMM against the
+    # lane-concatenated weights, then to time-major lane-stacked layout
+    # (reversed lanes read time flipped so one loop advances all lanes).
+    wih_cat = np.concatenate([w.data for w in weight_ih], axis=1)  # (F, N*G*H)
+    bias_cat = np.concatenate([b.data for b in bias])
+    gates_all = x.data.reshape(batch * seq_len, -1) @ wih_cat + bias_cat
+    lanes_bm = gates_all.reshape(batch, seq_len, num_lanes, gw)
+    gates_tm = np.empty((seq_len, num_lanes, batch, gw), dtype=dtype)
+    for n, rev in enumerate(lane_reverse):
+        src = lanes_bm[:, ::-1, n] if rev else lanes_bm[:, :, n]
+        gates_tm[:, n] = src.transpose(1, 0, 2)
+
     mask_tm, alive = _prepare_scan_mask(mask, batch, seq_len, dtype)
-    if reverse and mask_tm is not None:
-        mask_tm = np.ascontiguousarray(mask_tm[::-1])
-        alive = alive[::-1]
-    parents = (x, h0, weight_ih, weight_hh, bias)
+    if mask_tm is not None:
+        if any(lane_reverse):
+            lane_mask = np.empty((seq_len, num_lanes, batch, 1), dtype=dtype)
+            alive_ln = np.empty((seq_len, num_lanes), dtype=bool)
+            for n, rev in enumerate(lane_reverse):
+                lane_mask[:, n] = mask_tm[::-1] if rev else mask_tm
+                alive_ln[:, n] = alive[::-1] if rev else alive
+            # Skip a step only when it is padding for every row in every lane.
+            all_dead = ~alive_ln.any(axis=1)
+        else:
+            lane_mask = mask_tm[:, None]  # broadcast view over the lane axis
+            all_dead = ~alive
+    else:
+        lane_mask = None
+        all_dead = None
+
+    w_hh = np.stack([w.data for w in weight_hh])  # (N, H, G*H)
+    parents = (x, *h0, *c0, *weight_ih, *weight_hh, *bias)
     recording = _recording(*parents)
 
-    states_tm = np.empty((seq_len, batch, hidden_dim), dtype=dtype)
+    lane_states = np.empty((seq_len, num_lanes, batch, hidden_dim), dtype=dtype)
     if recording:
-        # Zero-filled when some columns are dead for the whole batch: those
+        # Zero-filled when some steps are dead across the whole batch: those
         # steps never write their stash slots, and zeros keep the vectorised
-        # backward prefactors and the single weight-gradient GEMM garbage-free.
-        alloc = np.zeros if alive is not None and not alive.all() else np.empty
-        prev_h = alloc(states_tm.shape, dtype=dtype)
-        gate_rz = alloc((seq_len, batch, 2 * hidden_dim), dtype=dtype)
-        candidates = alloc(states_tm.shape, dtype=dtype)
-        gh_news = alloc(states_tm.shape, dtype=dtype)
-    h = h0.data
-    gh = np.empty((batch, 3 * hidden_dim), dtype=dtype)
+        # backward prefactors and the whole-sequence weight GEMMs garbage-free.
+        alloc = np.zeros if all_dead is not None and all_dead.any() else np.empty
+        prev_h = alloc(lane_states.shape, dtype=dtype)
+        if is_lstm:
+            prev_c = alloc(lane_states.shape, dtype=dtype)
+            gate_if = alloc((seq_len, num_lanes, batch, 2 * hidden_dim), dtype=dtype)
+            cand_gates = alloc(lane_states.shape, dtype=dtype)
+            out_gates = alloc(lane_states.shape, dtype=dtype)
+            tanh_cells = alloc(lane_states.shape, dtype=dtype)
+        else:
+            gate_rz = alloc((seq_len, num_lanes, batch, 2 * hidden_dim), dtype=dtype)
+            candidates = alloc(lane_states.shape, dtype=dtype)
+            gh_news = alloc(lane_states.shape, dtype=dtype)
+
+    h = np.stack([t.data for t in h0])  # (N, B, H)
+    c = np.stack([t.data for t in c0]) if is_lstm else None
+    gh = np.empty((num_lanes, batch, gw), dtype=dtype)
+    # The ONE forward time loop: every op below touches all lanes at once.
     for t in range(seq_len):
-        if alive is not None and not alive[t]:
-            states_tm[t] = h
+        if all_dead is not None and all_dead[t]:
+            lane_states[t] = h
             continue
         gx = gates_tm[t]
-        np.matmul(h, w_hh, out=gh)
-        # One sigmoid call covers the adjacent [reset, update] blocks, written
-        # straight into the backward stash (or scratch when not recording).
-        rz_pre = gh[:, :2 * hidden_dim]
-        rz_pre += gx[:, :2 * hidden_dim]
-        if recording:
-            prev_h[t] = h
-            rz = _sigmoid_into(rz_pre, gate_rz[t])
-            gh_new = gh_news[t]
-            gh_new[...] = gh[:, 2 * hidden_dim:]
-            candidate = candidates[t]
+        np.matmul(h, w_hh, out=gh)  # (N, B, G*H)
+        if is_lstm:
+            gh += gx
+            # One sigmoid call covers the adjacent [input, forget] blocks; all
+            # activations land straight in the backward stash when recording.
+            if recording:
+                prev_h[t] = h
+                prev_c[t] = c
+                in_forget = _sigmoid_into(gh[:, :, :2 * hidden_dim], gate_if[t])
+                candidate = np.tanh(gh[:, :, 2 * hidden_dim:3 * hidden_dim],
+                                    out=cand_gates[t])
+                output_gate = _sigmoid_into(gh[:, :, 3 * hidden_dim:], out_gates[t])
+                tanh_cell = tanh_cells[t]
+            else:
+                in_forget = _sigmoid_into(gh[:, :, :2 * hidden_dim],
+                                          gh[:, :, :2 * hidden_dim])
+                candidate = np.tanh(gh[:, :, 2 * hidden_dim:3 * hidden_dim])
+                output_gate = _sigmoid_into(gh[:, :, 3 * hidden_dim:],
+                                            gh[:, :, 3 * hidden_dim:])
+                tanh_cell = np.empty((num_lanes, batch, hidden_dim), dtype=dtype)
+            new_c = in_forget[:, :, hidden_dim:] * c
+            new_c += in_forget[:, :, :hidden_dim] * candidate
+            np.tanh(new_c, out=tanh_cell)
+            new_h = output_gate * tanh_cell
         else:
-            rz = _sigmoid_into(rz_pre, rz_pre)
-            gh_new = gh[:, 2 * hidden_dim:]
-            candidate = np.empty((batch, hidden_dim), dtype=dtype)
-        np.multiply(rz[:, :hidden_dim], gh_new, out=candidate)
-        candidate += gx[:, 2 * hidden_dim:]
-        np.tanh(candidate, out=candidate)
-        new_h = h - candidate
-        new_h *= rz[:, hidden_dim:]
-        new_h += candidate
-        if mask_tm is not None:
-            # h + m * (new_h - h), composed in place on the fresh array.
+            # One sigmoid call covers the adjacent [reset, update] blocks; the
+            # candidate's hidden-side projection stays un-added (it is scaled
+            # by the reset gate before joining the input side).
+            rz_pre = gh[:, :, :2 * hidden_dim]
+            rz_pre += gx[:, :, :2 * hidden_dim]
+            if recording:
+                prev_h[t] = h
+                rz = _sigmoid_into(rz_pre, gate_rz[t])
+                gh_new = gh_news[t]
+                gh_new[...] = gh[:, :, 2 * hidden_dim:]
+                candidate = candidates[t]
+            else:
+                rz = _sigmoid_into(rz_pre, rz_pre)
+                gh_new = gh[:, :, 2 * hidden_dim:]
+                candidate = np.empty((num_lanes, batch, hidden_dim), dtype=dtype)
+            np.multiply(rz[:, :, :hidden_dim], gh_new, out=candidate)
+            candidate += gx[:, :, 2 * hidden_dim:]
+            np.tanh(candidate, out=candidate)
+            new_h = h - candidate
+            new_h *= rz[:, :, hidden_dim:]
+            new_h += candidate
+        if lane_mask is not None:
+            # h + m * (new_h - h), composed in place on the fresh arrays.
+            m = lane_mask[t]
             new_h -= h
-            new_h *= mask_tm[t]
+            new_h *= m
             new_h += h
-        states_tm[t] = new_h
+            if is_lstm:
+                new_c -= c
+                new_c *= m
+                new_c += c
+        lane_states[t] = new_h
         h = new_h
-    out_tm = states_tm[::-1] if reverse else states_tm
-    states = np.ascontiguousarray(out_tm.transpose(1, 0, 2))
+        if is_lstm:
+            c = new_c
+
+    states = np.empty((batch, seq_len, num_lanes * hidden_dim), dtype=dtype)
+    for n, rev in enumerate(lane_reverse):
+        src = lane_states[::-1, n] if rev else lane_states[:, n]
+        states[:, :, n * hidden_dim:(n + 1) * hidden_dim] = src.transpose(1, 0, 2)
     if not recording:
         return _wrap(states)
 
     def backward(grad):
-        g_tm = grad.transpose(1, 0, 2)
-        if reverse:
-            g_tm = g_tm[::-1]
-        g_tm = np.ascontiguousarray(g_tm)
-        resets = gate_rz[:, :, :hidden_dim]
-        updates = gate_rz[:, :, hidden_dim:]
-        # Gate-derivative prefactors, vectorised over the whole sequence so the
-        # sequential loop below is down to a handful of ops plus one GEMM per
-        # step.
-        pref_update = (prev_h - candidates) * updates * (1.0 - updates)
-        pref_cand = (1.0 - updates) * (1.0 - candidates ** 2)
-        pref_reset = gh_news * resets * (1.0 - resets)
-        # gates_h and gates_x share the [reset, update] gradient blocks; only
-        # the candidate block differs (extra * reset on the hidden side).
-        d_gates_h = np.zeros((seq_len, batch, 3 * hidden_dim), dtype=dtype)
-        d_cands = np.zeros((seq_len, batch, hidden_dim), dtype=dtype)
-        d_h = np.zeros((batch, hidden_dim), dtype=dtype)
-        w_hh_t = w_hh.T
+        lane_grad = np.empty((seq_len, num_lanes, batch, hidden_dim), dtype=dtype)
+        for n, rev in enumerate(lane_reverse):
+            time = slice(None, None, -1) if rev else slice(None)
+            block = grad[:, time, n * hidden_dim:(n + 1) * hidden_dim]
+            lane_grad[:, n] = block.transpose(1, 0, 2)
+        # Gate-derivative prefactors, vectorised over the whole sequence so
+        # the sequential loop below is down to a handful of ufunc calls plus
+        # one batched GEMM per step.
+        if is_lstm:
+            in_gates = gate_if[:, :, :, :hidden_dim]
+            forget_gates = gate_if[:, :, :, hidden_dim:]
+            pref_out = tanh_cells * out_gates * (1.0 - out_gates)
+            pref_cell = out_gates * (1.0 - tanh_cells ** 2)
+            pref_in = cand_gates * in_gates * (1.0 - in_gates)
+            pref_forget = prev_c * forget_gates * (1.0 - forget_gates)
+            pref_cand = in_gates * (1.0 - cand_gates ** 2)
+        else:
+            resets = gate_rz[:, :, :, :hidden_dim]
+            updates = gate_rz[:, :, :, hidden_dim:]
+            pref_update = (prev_h - candidates) * updates * (1.0 - updates)
+            pref_cand = (1.0 - updates) * (1.0 - candidates ** 2)
+            pref_reset = gh_news * resets * (1.0 - resets)
+            # gates_h and gates_x share the [reset, update] gradient blocks;
+            # only the candidate block differs (extra * reset, hidden side).
+            d_cands = np.zeros((seq_len, num_lanes, batch, hidden_dim), dtype=dtype)
+        d_gates = np.zeros((seq_len, num_lanes, batch, gw), dtype=dtype)
+        d_h = np.zeros((num_lanes, batch, hidden_dim), dtype=dtype)
+        d_c = np.zeros_like(d_h) if is_lstm else None
+        w_hh_t = np.swapaxes(w_hh, 1, 2)
+        # The ONE backward time loop (BPTT), shared by every kernel above.
         for t in range(seq_len - 1, -1, -1):
-            g = g_tm[t] + d_h
-            if alive is not None and not alive[t]:
+            g = lane_grad[t] + d_h
+            if all_dead is not None and all_dead[t]:
                 d_h = g  # dead step: pure passthrough to the previous state
                 continue
-            if mask_tm is not None:
-                m = mask_tm[t]
+            if lane_mask is not None:
+                m = lane_mask[t]
                 g_active = g * m
                 g_pass = g - g_active
+                if is_lstm:
+                    dc_active = d_c * m
+                    dc_pass = d_c - dc_active
             else:
                 g_active, g_pass = g, None
-            step = d_gates_h[t]
-            d_candidate = d_cands[t]
-            np.multiply(g_active, pref_cand[t], out=d_candidate)
-            np.multiply(d_candidate, pref_reset[t], out=step[:, :hidden_dim])
-            np.multiply(g_active, pref_update[t],
-                        out=step[:, hidden_dim:2 * hidden_dim])
-            np.multiply(d_candidate, resets[t], out=step[:, 2 * hidden_dim:])
-            d_h = step @ w_hh_t
-            d_h += g_active * updates[t]
-            if g_pass is not None:
-                d_h += g_pass
-        d_gx = np.concatenate([d_gates_h[:, :, :2 * hidden_dim], d_cands], axis=2)
-        if reverse:
-            d_gx = d_gx[::-1]
-        flat_x = np.ascontiguousarray(d_gx.transpose(1, 0, 2)).reshape(
-            batch * seq_len, 3 * hidden_dim)
+                if is_lstm:
+                    dc_active, dc_pass = d_c, None
+            step = d_gates[t]
+            if is_lstm:
+                d_cell = dc_active + g_active * pref_cell[t]
+                np.multiply(d_cell, pref_in[t], out=step[:, :, :hidden_dim])
+                np.multiply(d_cell, pref_forget[t],
+                            out=step[:, :, hidden_dim:2 * hidden_dim])
+                np.multiply(d_cell, pref_cand[t],
+                            out=step[:, :, 2 * hidden_dim:3 * hidden_dim])
+                np.multiply(g_active, pref_out[t], out=step[:, :, 3 * hidden_dim:])
+                d_h = np.matmul(step, w_hh_t)
+                if g_pass is not None:
+                    d_h += g_pass
+                d_c = d_cell * forget_gates[t]
+                if lane_mask is not None and dc_pass is not None:
+                    d_c += dc_pass
+            else:
+                d_candidate = d_cands[t]
+                np.multiply(g_active, pref_cand[t], out=d_candidate)
+                np.multiply(d_candidate, pref_reset[t], out=step[:, :, :hidden_dim])
+                np.multiply(g_active, pref_update[t],
+                            out=step[:, :, hidden_dim:2 * hidden_dim])
+                np.multiply(d_candidate, resets[t], out=step[:, :, 2 * hidden_dim:])
+                d_h = np.matmul(step, w_hh_t)
+                d_h += g_active * updates[t]
+                if g_pass is not None:
+                    d_h += g_pass
+        # Back to (batch, time)-major real order, lanes side by side.
+        d_gx = np.empty((batch, seq_len, num_lanes * gw), dtype=dtype)
+        for n, rev in enumerate(lane_reverse):
+            time = slice(None, None, -1) if rev else slice(None)
+            lane_block = d_gx[:, :, n * gw:(n + 1) * gw]
+            if is_lstm:
+                lane_block[...] = d_gates[time, n].transpose(1, 0, 2)
+            else:
+                lane_block[:, :, :2 * hidden_dim] = \
+                    d_gates[time, n, :, :2 * hidden_dim].transpose(1, 0, 2)
+                lane_block[:, :, 2 * hidden_dim:] = d_cands[time, n].transpose(1, 0, 2)
+        flat = d_gx.reshape(batch * seq_len, num_lanes * gw)
         if x.requires_grad:
-            x._accumulate_grad((flat_x @ weight_ih.data.T).reshape(x.data.shape),
-                               owned=True)
-        if weight_ih.requires_grad:
-            weight_ih._accumulate_grad(
-                x.data.reshape(batch * seq_len, -1).T @ flat_x, owned=True)
-        if bias.requires_grad:
-            bias._accumulate_grad(flat_x.sum(axis=0), owned=True)
-        if weight_hh.requires_grad:
-            # One GEMM over all steps (dead steps contribute exact zeros; the
-            # scan-order/real-order distinction washes out in the sum).
-            weight_hh._accumulate_grad(
-                prev_h.reshape(seq_len * batch, hidden_dim).T
-                @ d_gates_h.reshape(seq_len * batch, 3 * hidden_dim), owned=True)
-        if h0.requires_grad:
-            h0._accumulate_grad(d_h, owned=True)
+            x._accumulate_grad((flat @ wih_cat.T).reshape(x.data.shape), owned=True)
+        if any(w.requires_grad for w in weight_ih):
+            d_wih = x.data.reshape(batch * seq_len, -1).T @ flat
+            for n, w in enumerate(weight_ih):
+                if w.requires_grad:
+                    w._accumulate_grad(
+                        np.ascontiguousarray(d_wih[:, n * gw:(n + 1) * gw]),
+                        owned=True)
+        if any(b.requires_grad for b in bias):
+            d_bias = flat.sum(axis=0)
+            for n, b in enumerate(bias):
+                if b.requires_grad:
+                    b._accumulate_grad(d_bias[n * gw:(n + 1) * gw].copy(), owned=True)
+        for n, w in enumerate(weight_hh):
+            if w.requires_grad:
+                # One GEMM over all steps (dead steps contribute exact zeros;
+                # the scan-order/real-order distinction washes out in the sum).
+                w._accumulate_grad(
+                    prev_h[:, n].reshape(seq_len * batch, hidden_dim).T
+                    @ d_gates[:, n].reshape(seq_len * batch, gw), owned=True)
+        for n, t0 in enumerate(h0):
+            if t0.requires_grad:
+                t0._accumulate_grad(d_h[n].copy(), owned=True)
+        for n, t0 in enumerate(c0):
+            if t0.requires_grad:
+                t0._accumulate_grad(d_c[n].copy(), owned=True)
 
     return _attach(states, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# Thin wrappers over the N-lane core (historical public signatures)            #
+# --------------------------------------------------------------------------- #
+def gru_scan(x: Tensor, h0: Tensor, weight_ih: Tensor, weight_hh: Tensor,
+             bias: Tensor, mask=None, reverse: bool = False) -> Tensor:
+    """Fused whole-sequence GRU: ``(batch, seq, features) -> (batch, seq, hidden)``.
+
+    Single-lane :func:`lane_scan`; ``reverse=True`` scans right-to-left, with
+    ``states[:, t]`` holding the state *after* consuming ``x[:, t]`` in scan
+    order either way.
+    """
+    return lane_scan("gru", x, (h0,), None, (weight_ih,), (weight_hh,), (bias,),
+                     mask=mask, lane_reverse=(reverse,))
 
 
 def lstm_scan(x: Tensor, h0: Tensor, c0: Tensor, weight_ih: Tensor,
@@ -544,149 +732,12 @@ def lstm_scan(x: Tensor, h0: Tensor, c0: Tensor, weight_ih: Tensor,
               reverse: bool = False) -> Tensor:
     """Fused whole-sequence LSTM returning the hidden states ``(batch, seq, hidden)``.
 
-    Same contract as :func:`gru_scan` (single node, batched input GEMM,
-    stashed activations, mask carry, optional reverse scan); the cell state
-    threads through the scan internally, so gradients enter via the hidden
-    states only — matching a per-step chain whose loss reads the hidden
-    trajectory.
+    Single-lane :func:`lane_scan`; the cell state threads through the scan
+    internally, so gradients enter via the hidden states only — matching a
+    per-step chain whose loss reads the hidden trajectory.
     """
-    batch, seq_len, _ = x.data.shape
-    if seq_len == 0:
-        raise ValueError("lstm_scan requires at least one time step")
-    hidden_dim = h0.data.shape[-1]
-    dtype = x.data.dtype
-    w_hh = weight_hh.data
-    gates_all = x.data.reshape(batch * seq_len, -1) @ weight_ih.data + bias.data
-    gates_tm = gates_all.reshape(batch, seq_len, 4 * hidden_dim).transpose(1, 0, 2)
-    if reverse:
-        gates_tm = gates_tm[::-1]
-    gates_tm = np.ascontiguousarray(gates_tm)
-    mask_tm, alive = _prepare_scan_mask(mask, batch, seq_len, dtype)
-    if reverse and mask_tm is not None:
-        mask_tm = np.ascontiguousarray(mask_tm[::-1])
-        alive = alive[::-1]
-    parents = (x, h0, c0, weight_ih, weight_hh, bias)
-    recording = _recording(*parents)
-
-    states_tm = np.empty((seq_len, batch, hidden_dim), dtype=dtype)
-    if recording:
-        alloc = np.zeros if alive is not None and not alive.all() else np.empty
-        prev_h = alloc(states_tm.shape, dtype=dtype)
-        prev_c = alloc(states_tm.shape, dtype=dtype)
-        gate_if = alloc((seq_len, batch, 2 * hidden_dim), dtype=dtype)
-        cand_gates = alloc(states_tm.shape, dtype=dtype)
-        out_gates = alloc(states_tm.shape, dtype=dtype)
-        tanh_cells = alloc(states_tm.shape, dtype=dtype)
-    h, c = h0.data, c0.data
-    gates = np.empty((batch, 4 * hidden_dim), dtype=dtype)
-    for t in range(seq_len):
-        if alive is not None and not alive[t]:
-            states_tm[t] = h
-            continue
-        np.matmul(h, w_hh, out=gates)
-        gates += gates_tm[t]
-        # One sigmoid call covers the adjacent [input, forget] blocks; all
-        # activations land straight in the backward stash when recording.
-        if recording:
-            prev_h[t] = h
-            prev_c[t] = c
-            in_forget = _sigmoid_into(gates[:, :2 * hidden_dim], gate_if[t])
-            candidate = np.tanh(gates[:, 2 * hidden_dim:3 * hidden_dim],
-                                out=cand_gates[t])
-            output_gate = _sigmoid_into(gates[:, 3 * hidden_dim:], out_gates[t])
-            tanh_cell = tanh_cells[t]
-        else:
-            in_forget = _sigmoid_into(gates[:, :2 * hidden_dim],
-                                      gates[:, :2 * hidden_dim])
-            candidate = np.tanh(gates[:, 2 * hidden_dim:3 * hidden_dim])
-            output_gate = _sigmoid_into(gates[:, 3 * hidden_dim:],
-                                        gates[:, 3 * hidden_dim:])
-            tanh_cell = np.empty((batch, hidden_dim), dtype=dtype)
-        new_c = in_forget[:, hidden_dim:] * c
-        new_c += in_forget[:, :hidden_dim] * candidate
-        np.tanh(new_c, out=tanh_cell)
-        new_h = output_gate * tanh_cell
-        if mask_tm is not None:
-            m = mask_tm[t]
-            new_h -= h
-            new_h *= m
-            new_h += h
-            new_c -= c
-            new_c *= m
-            new_c += c
-        states_tm[t] = new_h
-        h, c = new_h, new_c
-    out_tm = states_tm[::-1] if reverse else states_tm
-    states = np.ascontiguousarray(out_tm.transpose(1, 0, 2))
-    if not recording:
-        return _wrap(states)
-
-    def backward(grad):
-        g_tm = grad.transpose(1, 0, 2)
-        if reverse:
-            g_tm = g_tm[::-1]
-        g_tm = np.ascontiguousarray(g_tm)
-        in_gates = gate_if[:, :, :hidden_dim]
-        forget_gates = gate_if[:, :, hidden_dim:]
-        # Whole-sequence gate-derivative prefactors (see gru_scan.backward).
-        pref_out = tanh_cells * out_gates * (1.0 - out_gates)
-        pref_cell = out_gates * (1.0 - tanh_cells ** 2)
-        pref_in = cand_gates * in_gates * (1.0 - in_gates)
-        pref_forget = prev_c * forget_gates * (1.0 - forget_gates)
-        pref_cand = in_gates * (1.0 - cand_gates ** 2)
-        d_gates_all = np.zeros((seq_len, batch, 4 * hidden_dim), dtype=dtype)
-        d_h = np.zeros((batch, hidden_dim), dtype=dtype)
-        d_c = np.zeros((batch, hidden_dim), dtype=dtype)
-        w_hh_t = w_hh.T
-        for t in range(seq_len - 1, -1, -1):
-            g_h = g_tm[t] + d_h
-            if alive is not None and not alive[t]:
-                d_h = g_h  # dead step: hidden and cell both pass straight through
-                continue
-            if mask_tm is not None:
-                m = mask_tm[t]
-                gh_active = g_h * m
-                gh_pass = g_h - gh_active
-                dc_active = d_c * m
-                dc_pass = d_c - dc_active
-            else:
-                gh_active, gh_pass = g_h, None
-                dc_active, dc_pass = d_c, None
-            d_cell = dc_active + gh_active * pref_cell[t]
-            step_dg = d_gates_all[t]
-            np.multiply(d_cell, pref_in[t], out=step_dg[:, :hidden_dim])
-            np.multiply(d_cell, pref_forget[t],
-                        out=step_dg[:, hidden_dim:2 * hidden_dim])
-            np.multiply(d_cell, pref_cand[t],
-                        out=step_dg[:, 2 * hidden_dim:3 * hidden_dim])
-            np.multiply(gh_active, pref_out[t], out=step_dg[:, 3 * hidden_dim:])
-            d_h = step_dg @ w_hh_t
-            if gh_pass is not None:
-                d_h += gh_pass
-            d_c = d_cell * forget_gates[t]
-            if dc_pass is not None:
-                d_c += dc_pass
-        d_gx = d_gates_all[::-1] if reverse else d_gates_all
-        flat = np.ascontiguousarray(d_gx.transpose(1, 0, 2)).reshape(
-            batch * seq_len, 4 * hidden_dim)
-        if x.requires_grad:
-            x._accumulate_grad((flat @ weight_ih.data.T).reshape(x.data.shape),
-                               owned=True)
-        if weight_ih.requires_grad:
-            weight_ih._accumulate_grad(
-                x.data.reshape(batch * seq_len, -1).T @ flat, owned=True)
-        if bias.requires_grad:
-            bias._accumulate_grad(flat.sum(axis=0), owned=True)
-        if weight_hh.requires_grad:
-            weight_hh._accumulate_grad(
-                prev_h.reshape(seq_len * batch, hidden_dim).T
-                @ d_gates_all.reshape(seq_len * batch, 4 * hidden_dim), owned=True)
-        if h0.requires_grad:
-            h0._accumulate_grad(d_h, owned=True)
-        if c0.requires_grad:
-            c0._accumulate_grad(d_c, owned=True)
-
-    return _attach(states, parents, backward)
+    return lane_scan("lstm", x, (h0,), (c0,), (weight_ih,), (weight_hh,), (bias,),
+                     mask=mask, lane_reverse=(reverse,))
 
 
 def gru_bidir_scan(x: Tensor, h0_fwd: Tensor, h0_bwd: Tensor,
@@ -695,160 +746,14 @@ def gru_bidir_scan(x: Tensor, h0_fwd: Tensor, h0_bwd: Tensor,
                    mask=None) -> Tensor:
     """Fused bidirectional GRU scan: one node for ``(batch, seq, 2 * hidden)``.
 
-    Both directions run inside a *single* time loop as a leading "lane" axis
-    of size 2 (forward, backward): the per-step hidden projections become one
-    batched ``(2, B, H) @ (2, H, 3H)`` matmul and every gate op touches both
-    lanes at once, halving the Python-call overhead of two independent
-    :func:`gru_scan` nodes.  The backward lane consumes time right-to-left via
-    pre-flipped inputs; its states/gradients are flipped back in bulk.  Output
-    layout: ``[:, :, :H]`` forward states, ``[:, :, H:]`` backward states.
+    A two-lane :func:`lane_scan` — (forward, backward) — so both directions
+    advance inside a single time loop with one batched hidden-side matmul per
+    step.  Output layout: ``[:, :, :H]`` forward states, ``[:, :, H:]``
+    backward states.
     """
-    batch, seq_len, _ = x.data.shape
-    if seq_len == 0:
-        raise ValueError("gru_bidir_scan requires at least one time step")
-    hidden_dim = h0_fwd.data.shape[-1]
-    dtype = x.data.dtype
-    wih_cat = np.concatenate([wih_fwd.data, wih_bwd.data], axis=1)  # (F, 6H)
-    bias_cat = np.concatenate([bias_fwd.data, bias_bwd.data])
-    gates = x.data.reshape(batch * seq_len, -1) @ wih_cat + bias_cat
-    lanes = gates.reshape(batch, seq_len, 2, 3 * hidden_dim)
-    # Time-major, lane-second input gates; the backward lane reads time
-    # reversed so the single loop below advances both directions at once.
-    gates_tm = np.empty((seq_len, 2, batch, 3 * hidden_dim), dtype=dtype)
-    gates_tm[:, 0] = lanes[:, :, 0].transpose(1, 0, 2)
-    gates_tm[:, 1] = lanes[:, ::-1, 1].transpose(1, 0, 2)
-    mask_tm, alive = _prepare_scan_mask(mask, batch, seq_len, dtype)
-    if mask_tm is not None:
-        lane_mask = np.empty((seq_len, 2, batch, 1), dtype=dtype)
-        lane_mask[:, 0] = mask_tm
-        lane_mask[:, 1] = mask_tm[::-1]
-        # Skip a step only when it is padding for every row in *both* lanes.
-        both_dead = ~alive & ~alive[::-1]
-    else:
-        lane_mask = None
-        both_dead = None
-    w_hh = np.stack([whh_fwd.data, whh_bwd.data])  # (2, H, 3H)
-    parents = (x, h0_fwd, h0_bwd, wih_fwd, whh_fwd, bias_fwd,
-               wih_bwd, whh_bwd, bias_bwd)
-    recording = _recording(*parents)
-
-    lane_states = np.empty((seq_len, 2, batch, hidden_dim), dtype=dtype)
-    if recording:
-        alloc = np.zeros if both_dead is not None and both_dead.any() else np.empty
-        prev_h = alloc(lane_states.shape, dtype=dtype)
-        gate_rz = alloc((seq_len, 2, batch, 2 * hidden_dim), dtype=dtype)
-        candidates = alloc(lane_states.shape, dtype=dtype)
-        gh_news = alloc(lane_states.shape, dtype=dtype)
-    h = np.stack([h0_fwd.data, h0_bwd.data])  # (2, B, H)
-    gh = np.empty((2, batch, 3 * hidden_dim), dtype=dtype)
-    for t in range(seq_len):
-        if both_dead is not None and both_dead[t]:
-            lane_states[t] = h
-            continue
-        gx = gates_tm[t]
-        np.matmul(h, w_hh, out=gh)  # (2, B, 3H)
-        rz_pre = gh[:, :, :2 * hidden_dim]
-        rz_pre += gx[:, :, :2 * hidden_dim]
-        if recording:
-            prev_h[t] = h
-            rz = _sigmoid_into(rz_pre, gate_rz[t])
-            gh_new = gh_news[t]
-            gh_new[...] = gh[:, :, 2 * hidden_dim:]
-            candidate = candidates[t]
-        else:
-            rz = _sigmoid_into(rz_pre, rz_pre)
-            gh_new = gh[:, :, 2 * hidden_dim:]
-            candidate = np.empty((2, batch, hidden_dim), dtype=dtype)
-        np.multiply(rz[:, :, :hidden_dim], gh_new, out=candidate)
-        candidate += gx[:, :, 2 * hidden_dim:]
-        np.tanh(candidate, out=candidate)
-        new_h = h - candidate
-        new_h *= rz[:, :, hidden_dim:]
-        new_h += candidate
-        if lane_mask is not None:
-            new_h -= h
-            new_h *= lane_mask[t]
-            new_h += h
-        lane_states[t] = new_h
-        h = new_h
-    states = np.empty((batch, seq_len, 2 * hidden_dim), dtype=dtype)
-    states[:, :, :hidden_dim] = lane_states[:, 0].transpose(1, 0, 2)
-    states[:, :, hidden_dim:] = lane_states[::-1, 1].transpose(1, 0, 2)
-    if not recording:
-        return _wrap(states)
-
-    def backward(grad):
-        lane_grad = np.empty((seq_len, 2, batch, hidden_dim), dtype=dtype)
-        lane_grad[:, 0] = grad[:, :, :hidden_dim].transpose(1, 0, 2)
-        lane_grad[:, 1] = grad[:, ::-1, hidden_dim:].transpose(1, 0, 2)
-        resets = gate_rz[:, :, :, :hidden_dim]
-        updates = gate_rz[:, :, :, hidden_dim:]
-        pref_update = (prev_h - candidates) * updates * (1.0 - updates)
-        pref_cand = (1.0 - updates) * (1.0 - candidates ** 2)
-        pref_reset = gh_news * resets * (1.0 - resets)
-        d_gates_h = np.zeros((seq_len, 2, batch, 3 * hidden_dim), dtype=dtype)
-        d_cands = np.zeros((seq_len, 2, batch, hidden_dim), dtype=dtype)
-        d_h = np.zeros((2, batch, hidden_dim), dtype=dtype)
-        w_hh_t = np.swapaxes(w_hh, 1, 2)
-        for t in range(seq_len - 1, -1, -1):
-            g = lane_grad[t] + d_h
-            if both_dead is not None and both_dead[t]:
-                d_h = g
-                continue
-            if lane_mask is not None:
-                m = lane_mask[t]
-                g_active = g * m
-                g_pass = g - g_active
-            else:
-                g_active, g_pass = g, None
-            step = d_gates_h[t]
-            d_candidate = d_cands[t]
-            np.multiply(g_active, pref_cand[t], out=d_candidate)
-            np.multiply(d_candidate, pref_reset[t], out=step[:, :, :hidden_dim])
-            np.multiply(g_active, pref_update[t],
-                        out=step[:, :, hidden_dim:2 * hidden_dim])
-            np.multiply(d_candidate, resets[t], out=step[:, :, 2 * hidden_dim:])
-            d_h = np.matmul(step, w_hh_t)
-            d_h += g_active * updates[t]
-            if g_pass is not None:
-                d_h += g_pass
-        # Back to (batch, time)-major real order, lanes side by side: (B, T, 6H).
-        d_gx = np.empty((batch, seq_len, 6 * hidden_dim), dtype=dtype)
-        d_gx[:, :, :2 * hidden_dim] = \
-            d_gates_h[:, 0, :, :2 * hidden_dim].transpose(1, 0, 2)
-        d_gx[:, :, 2 * hidden_dim:3 * hidden_dim] = d_cands[:, 0].transpose(1, 0, 2)
-        d_gx[:, :, 3 * hidden_dim:5 * hidden_dim] = \
-            d_gates_h[::-1, 1, :, :2 * hidden_dim].transpose(1, 0, 2)
-        d_gx[:, :, 5 * hidden_dim:] = d_cands[::-1, 1].transpose(1, 0, 2)
-        flat = d_gx.reshape(batch * seq_len, 6 * hidden_dim)
-        if x.requires_grad:
-            x._accumulate_grad((flat @ wih_cat.T).reshape(x.data.shape), owned=True)
-        if wih_fwd.requires_grad or wih_bwd.requires_grad:
-            d_wih = x.data.reshape(batch * seq_len, -1).T @ flat
-            if wih_fwd.requires_grad:
-                wih_fwd._accumulate_grad(
-                    np.ascontiguousarray(d_wih[:, :3 * hidden_dim]), owned=True)
-            if wih_bwd.requires_grad:
-                wih_bwd._accumulate_grad(
-                    np.ascontiguousarray(d_wih[:, 3 * hidden_dim:]), owned=True)
-        if bias_fwd.requires_grad or bias_bwd.requires_grad:
-            d_bias = flat.sum(axis=0)
-            if bias_fwd.requires_grad:
-                bias_fwd._accumulate_grad(d_bias[:3 * hidden_dim].copy(), owned=True)
-            if bias_bwd.requires_grad:
-                bias_bwd._accumulate_grad(d_bias[3 * hidden_dim:].copy(), owned=True)
-        for lane, weight in enumerate((whh_fwd, whh_bwd)):
-            if weight.requires_grad:
-                weight._accumulate_grad(
-                    prev_h[:, lane].reshape(seq_len * batch, hidden_dim).T
-                    @ d_gates_h[:, lane].reshape(seq_len * batch, 3 * hidden_dim),
-                    owned=True)
-        if h0_fwd.requires_grad:
-            h0_fwd._accumulate_grad(d_h[0], owned=True)
-        if h0_bwd.requires_grad:
-            h0_bwd._accumulate_grad(d_h[1], owned=True)
-
-    return _attach(states, parents, backward)
+    return lane_scan("gru", x, (h0_fwd, h0_bwd), None,
+                     (wih_fwd, wih_bwd), (whh_fwd, whh_bwd), (bias_fwd, bias_bwd),
+                     mask=mask, lane_reverse=(False, True))
 
 
 def lstm_bidir_scan(x: Tensor, h0_fwd: Tensor, c0_fwd: Tensor,
@@ -856,170 +761,12 @@ def lstm_bidir_scan(x: Tensor, h0_fwd: Tensor, c0_fwd: Tensor,
                     wih_fwd: Tensor, whh_fwd: Tensor, bias_fwd: Tensor,
                     wih_bwd: Tensor, whh_bwd: Tensor, bias_bwd: Tensor,
                     mask=None) -> Tensor:
-    """Fused bidirectional LSTM scan (see :func:`gru_bidir_scan` for the
-    lane-batching scheme); returns hidden states ``(batch, seq, 2 * hidden)``.
+    """Fused bidirectional LSTM scan (two-lane :func:`lane_scan`); returns
+    hidden states ``(batch, seq, 2 * hidden)``.
     """
-    batch, seq_len, _ = x.data.shape
-    if seq_len == 0:
-        raise ValueError("lstm_bidir_scan requires at least one time step")
-    hidden_dim = h0_fwd.data.shape[-1]
-    dtype = x.data.dtype
-    wih_cat = np.concatenate([wih_fwd.data, wih_bwd.data], axis=1)  # (F, 8H)
-    bias_cat = np.concatenate([bias_fwd.data, bias_bwd.data])
-    gates_all = x.data.reshape(batch * seq_len, -1) @ wih_cat + bias_cat
-    lanes = gates_all.reshape(batch, seq_len, 2, 4 * hidden_dim)
-    gates_tm = np.empty((seq_len, 2, batch, 4 * hidden_dim), dtype=dtype)
-    gates_tm[:, 0] = lanes[:, :, 0].transpose(1, 0, 2)
-    gates_tm[:, 1] = lanes[:, ::-1, 1].transpose(1, 0, 2)
-    mask_tm, alive = _prepare_scan_mask(mask, batch, seq_len, dtype)
-    if mask_tm is not None:
-        lane_mask = np.empty((seq_len, 2, batch, 1), dtype=dtype)
-        lane_mask[:, 0] = mask_tm
-        lane_mask[:, 1] = mask_tm[::-1]
-        both_dead = ~alive & ~alive[::-1]
-    else:
-        lane_mask = None
-        both_dead = None
-    w_hh = np.stack([whh_fwd.data, whh_bwd.data])  # (2, H, 4H)
-    parents = (x, h0_fwd, c0_fwd, h0_bwd, c0_bwd, wih_fwd, whh_fwd, bias_fwd,
-               wih_bwd, whh_bwd, bias_bwd)
-    recording = _recording(*parents)
-
-    lane_states = np.empty((seq_len, 2, batch, hidden_dim), dtype=dtype)
-    if recording:
-        alloc = np.zeros if both_dead is not None and both_dead.any() else np.empty
-        prev_h = alloc(lane_states.shape, dtype=dtype)
-        prev_c = alloc(lane_states.shape, dtype=dtype)
-        gate_if = alloc((seq_len, 2, batch, 2 * hidden_dim), dtype=dtype)
-        cand_gates = alloc(lane_states.shape, dtype=dtype)
-        out_gates = alloc(lane_states.shape, dtype=dtype)
-        tanh_cells = alloc(lane_states.shape, dtype=dtype)
-    h = np.stack([h0_fwd.data, h0_bwd.data])
-    c = np.stack([c0_fwd.data, c0_bwd.data])
-    lane_gates = np.empty((2, batch, 4 * hidden_dim), dtype=dtype)
-    for t in range(seq_len):
-        if both_dead is not None and both_dead[t]:
-            lane_states[t] = h
-            continue
-        np.matmul(h, w_hh, out=lane_gates)
-        lane_gates += gates_tm[t]
-        if recording:
-            prev_h[t] = h
-            prev_c[t] = c
-            in_forget = _sigmoid_into(lane_gates[:, :, :2 * hidden_dim],
-                                      gate_if[t])
-            candidate = np.tanh(lane_gates[:, :, 2 * hidden_dim:3 * hidden_dim],
-                                out=cand_gates[t])
-            output_gate = _sigmoid_into(lane_gates[:, :, 3 * hidden_dim:],
-                                        out_gates[t])
-            tanh_cell = tanh_cells[t]
-        else:
-            in_forget = _sigmoid_into(lane_gates[:, :, :2 * hidden_dim],
-                                      lane_gates[:, :, :2 * hidden_dim])
-            candidate = np.tanh(lane_gates[:, :, 2 * hidden_dim:3 * hidden_dim])
-            output_gate = _sigmoid_into(lane_gates[:, :, 3 * hidden_dim:],
-                                        lane_gates[:, :, 3 * hidden_dim:])
-            tanh_cell = np.empty((2, batch, hidden_dim), dtype=dtype)
-        new_c = in_forget[:, :, hidden_dim:] * c
-        new_c += in_forget[:, :, :hidden_dim] * candidate
-        np.tanh(new_c, out=tanh_cell)
-        new_h = output_gate * tanh_cell
-        if lane_mask is not None:
-            m = lane_mask[t]
-            new_h -= h
-            new_h *= m
-            new_h += h
-            new_c -= c
-            new_c *= m
-            new_c += c
-        lane_states[t] = new_h
-        h, c = new_h, new_c
-    states = np.empty((batch, seq_len, 2 * hidden_dim), dtype=dtype)
-    states[:, :, :hidden_dim] = lane_states[:, 0].transpose(1, 0, 2)
-    states[:, :, hidden_dim:] = lane_states[::-1, 1].transpose(1, 0, 2)
-    if not recording:
-        return _wrap(states)
-
-    def backward(grad):
-        lane_grad = np.empty((seq_len, 2, batch, hidden_dim), dtype=dtype)
-        lane_grad[:, 0] = grad[:, :, :hidden_dim].transpose(1, 0, 2)
-        lane_grad[:, 1] = grad[:, ::-1, hidden_dim:].transpose(1, 0, 2)
-        in_gates = gate_if[:, :, :, :hidden_dim]
-        forget_gates = gate_if[:, :, :, hidden_dim:]
-        pref_out = tanh_cells * out_gates * (1.0 - out_gates)
-        pref_cell = out_gates * (1.0 - tanh_cells ** 2)
-        pref_in = cand_gates * in_gates * (1.0 - in_gates)
-        pref_forget = prev_c * forget_gates * (1.0 - forget_gates)
-        pref_cand = in_gates * (1.0 - cand_gates ** 2)
-        d_gates_all = np.zeros((seq_len, 2, batch, 4 * hidden_dim), dtype=dtype)
-        d_h = np.zeros((2, batch, hidden_dim), dtype=dtype)
-        d_c = np.zeros((2, batch, hidden_dim), dtype=dtype)
-        w_hh_t = np.swapaxes(w_hh, 1, 2)
-        for t in range(seq_len - 1, -1, -1):
-            g_h = lane_grad[t] + d_h
-            if both_dead is not None and both_dead[t]:
-                d_h = g_h
-                continue
-            if lane_mask is not None:
-                m = lane_mask[t]
-                gh_active = g_h * m
-                gh_pass = g_h - gh_active
-                dc_active = d_c * m
-                dc_pass = d_c - dc_active
-            else:
-                gh_active, gh_pass = g_h, None
-                dc_active, dc_pass = d_c, None
-            d_cell = dc_active + gh_active * pref_cell[t]
-            step_dg = d_gates_all[t]
-            np.multiply(d_cell, pref_in[t], out=step_dg[:, :, :hidden_dim])
-            np.multiply(d_cell, pref_forget[t],
-                        out=step_dg[:, :, hidden_dim:2 * hidden_dim])
-            np.multiply(d_cell, pref_cand[t],
-                        out=step_dg[:, :, 2 * hidden_dim:3 * hidden_dim])
-            np.multiply(gh_active, pref_out[t],
-                        out=step_dg[:, :, 3 * hidden_dim:])
-            d_h = np.matmul(step_dg, w_hh_t)
-            if gh_pass is not None:
-                d_h += gh_pass
-            d_c = d_cell * forget_gates[t]
-            if dc_pass is not None:
-                d_c += dc_pass
-        d_gx = np.empty((batch, seq_len, 8 * hidden_dim), dtype=dtype)
-        d_gx[:, :, :4 * hidden_dim] = d_gates_all[:, 0].transpose(1, 0, 2)
-        d_gx[:, :, 4 * hidden_dim:] = d_gates_all[::-1, 1].transpose(1, 0, 2)
-        flat = d_gx.reshape(batch * seq_len, 8 * hidden_dim)
-        if x.requires_grad:
-            x._accumulate_grad((flat @ wih_cat.T).reshape(x.data.shape), owned=True)
-        if wih_fwd.requires_grad or wih_bwd.requires_grad:
-            d_wih = x.data.reshape(batch * seq_len, -1).T @ flat
-            if wih_fwd.requires_grad:
-                wih_fwd._accumulate_grad(
-                    np.ascontiguousarray(d_wih[:, :4 * hidden_dim]), owned=True)
-            if wih_bwd.requires_grad:
-                wih_bwd._accumulate_grad(
-                    np.ascontiguousarray(d_wih[:, 4 * hidden_dim:]), owned=True)
-        if bias_fwd.requires_grad or bias_bwd.requires_grad:
-            d_bias = flat.sum(axis=0)
-            if bias_fwd.requires_grad:
-                bias_fwd._accumulate_grad(d_bias[:4 * hidden_dim].copy(), owned=True)
-            if bias_bwd.requires_grad:
-                bias_bwd._accumulate_grad(d_bias[4 * hidden_dim:].copy(), owned=True)
-        for lane, weight in enumerate((whh_fwd, whh_bwd)):
-            if weight.requires_grad:
-                weight._accumulate_grad(
-                    prev_h[:, lane].reshape(seq_len * batch, hidden_dim).T
-                    @ d_gates_all[:, lane].reshape(seq_len * batch, 4 * hidden_dim),
-                    owned=True)
-        if h0_fwd.requires_grad:
-            h0_fwd._accumulate_grad(d_h[0], owned=True)
-        if h0_bwd.requires_grad:
-            h0_bwd._accumulate_grad(d_h[1], owned=True)
-        if c0_fwd.requires_grad:
-            c0_fwd._accumulate_grad(d_c[0], owned=True)
-        if c0_bwd.requires_grad:
-            c0_bwd._accumulate_grad(d_c[1], owned=True)
-
-    return _attach(states, parents, backward)
+    return lane_scan("lstm", x, (h0_fwd, h0_bwd), (c0_fwd, c0_bwd),
+                     (wih_fwd, wih_bwd), (whh_fwd, whh_bwd), (bias_fwd, bias_bwd),
+                     mask=mask, lane_reverse=(False, True))
 
 
 # --------------------------------------------------------------------------- #
@@ -1069,6 +816,62 @@ def attention_pooling(x: Tensor, scores: Tensor, mask=None) -> Tensor:
             d_weights = (x.data @ grad[:, :, None])[:, :, 0]
             inner = (d_weights * weights).sum(axis=1, keepdims=True)
             scores._accumulate_grad(weights * (d_weights - inner), owned=True)
+
+    return _attach(data, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# Masked mean pooling                                                          #
+# --------------------------------------------------------------------------- #
+def masked_mean(x: Tensor, mask) -> Tensor:
+    """Fused masked mean over time: ``(batch, seq, feat) -> (batch, feat)``.
+
+    Replaces the composed 4-node expand/multiply/sum/scale chain that runs on
+    every pooled summary: the masked sum is one batched ``(1, T) @ (T, F)``
+    GEMM and the count normalisation folds into the same node.  Rows whose
+    mask is all zero divide by 1 (mean of nothing is zero), matching
+    ``functional.masked_mean_reference``.
+    """
+    mask_arr = np.asarray(mask, dtype=x.data.dtype)
+    if mask_arr.shape != x.data.shape[:2]:
+        raise ValueError(
+            f"mask shape {mask_arr.shape} does not match (batch, seq) = "
+            f"{x.data.shape[:2]}")
+    inv_counts = 1.0 / np.maximum(mask_arr.sum(axis=1), 1.0)  # (batch,)
+    data = (mask_arr[:, None, :] @ x.data)[:, 0, :]
+    data *= inv_counts[:, None]
+    if not _recording(x):
+        return _wrap(data)
+
+    def backward(grad):
+        scaled = grad * inv_counts[:, None]          # (batch, feat)
+        x._accumulate_grad(mask_arr[:, :, None] * scaled[:, None, :], owned=True)
+
+    return _attach(data, (x,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Mixture-of-experts gate mixing                                               #
+# --------------------------------------------------------------------------- #
+def mix_experts(stacked: Tensor, gate_weights: Tensor) -> Tensor:
+    """Fused gate-weighted expert mixture: ``(B, N, D), (B, N) -> (B, D)``.
+
+    Collapses the composed stack → broadcast-multiply → sum chain used by the
+    mixture-of-experts detectors into one node whose forward is a single
+    batched ``(1, N) @ (N, D)`` GEMM per row.
+    """
+    data = (gate_weights.data[:, None, :] @ stacked.data)[:, 0, :]
+    parents = (stacked, gate_weights)
+    if not _recording(*parents):
+        return _wrap(data)
+
+    def backward(grad):
+        if stacked.requires_grad:
+            stacked._accumulate_grad(
+                gate_weights.data[:, :, None] * grad[:, None, :], owned=True)
+        if gate_weights.requires_grad:
+            gate_weights._accumulate_grad(
+                (stacked.data @ grad[:, :, None])[:, :, 0], owned=True)
 
     return _attach(data, parents, backward)
 

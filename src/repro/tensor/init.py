@@ -10,10 +10,13 @@ import numpy as np
 
 from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor
+from repro.utils import fallback_rng
 
 
 def _rng(rng: np.random.Generator | None) -> np.random.Generator:
-    return rng if rng is not None else np.random.default_rng()
+    # The experiment-wide fallback stream keeps unseeded construction
+    # reproducible run-to-run (see repro.utils.set_global_seed).
+    return rng if rng is not None else fallback_rng()
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None,

@@ -14,6 +14,43 @@ def seeded_rng(seed: int | None = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+# --------------------------------------------------------------------------- #
+# Experiment-wide seed (the fallback for components built without an rng)      #
+# --------------------------------------------------------------------------- #
+# Modules that take an optional generator (Dropout, the initialisers, shuffle
+# helpers) used to fall back to an *unseeded* ``np.random.default_rng()``,
+# which silently broke run-to-run reproducibility for any model built without
+# an explicit rng.  They now draw from one process-wide stream seeded here;
+# ``repro.experiments.runner.prepare_data`` installs the experiment's seed, so
+# two identical runs see identical fallback randomness.  Explicitly threaded
+# generators are unaffected.
+_GLOBAL_SEED: int = 0
+_FALLBACK_RNG: np.random.Generator = np.random.default_rng(0)
+
+
+def set_global_seed(seed: int) -> int:
+    """Install ``seed`` as the experiment-wide seed; returns the previous one.
+
+    Resets the shared fallback stream, so everything built afterwards without
+    an explicit generator is reproducible given the same construction order.
+    """
+    global _GLOBAL_SEED, _FALLBACK_RNG
+    previous = _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+    _FALLBACK_RNG = np.random.default_rng(_GLOBAL_SEED)
+    return previous
+
+
+def get_global_seed() -> int:
+    """Return the currently installed experiment-wide seed."""
+    return _GLOBAL_SEED
+
+
+def fallback_rng() -> np.random.Generator:
+    """The shared deterministic stream used when no generator is passed."""
+    return _FALLBACK_RNG
+
+
 def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent generators from one seed (for sub-modules)."""
     sequence = np.random.SeedSequence(seed)
@@ -31,7 +68,7 @@ def batched_indices(n: int, batch_size: int, rng: np.random.Generator | None = N
         raise ValueError("batch_size must be positive")
     order = np.arange(n)
     if shuffle:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         rng.shuffle(order)
     full_batches, remainder = divmod(n, batch_size)
     stop = full_batches * batch_size if (drop_last and remainder) else n

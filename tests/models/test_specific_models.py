@@ -187,6 +187,23 @@ class TestMaskPaddingOption:
         # Same parameters (same seed); only the padded-step handling differs.
         assert not np.allclose(default_logits, masked_logits)
 
+    @pytest.mark.parametrize("mask_padding", (False, True))
+    def test_mose_fused_expert_lanes_match_composed(self, model_config,
+                                                    sample_batch, mask_padding):
+        """MoSE's one-scan expert dispatch equals per-expert composed passes."""
+        from repro.tensor import fused_kernels
+
+        batch = self._padded(sample_batch) if mask_padding else sample_batch
+        model = build_model("mose",
+                            model_config.with_overrides(mask_padding=mask_padding))
+        model.eval()
+        with fused_kernels(True):
+            fused_logits = model(batch).numpy()
+        with fused_kernels(False):
+            composed_logits = model(batch).numpy()
+        np.testing.assert_allclose(fused_logits, composed_logits,
+                                   atol=1e-8, rtol=1e-7)
+
     @pytest.mark.parametrize("name", ("bigru", "stylelstm", "mose"))
     def test_masked_models_train(self, model_config, sample_batch, name):
         model = build_model(name, model_config.with_overrides(mask_padding=True))

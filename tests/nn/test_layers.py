@@ -5,7 +5,7 @@ import pytest
 
 from repro.nn import MLP, Dropout, Embedding, LayerNorm, Linear
 from repro.tensor import Tensor
-from repro.utils import seeded_rng
+from repro.utils import seeded_rng, set_global_seed
 
 
 class TestLinear:
@@ -72,6 +72,43 @@ class TestDropout:
         layer = Dropout(0.0)
         x = Tensor(np.random.default_rng(0).standard_normal((5, 5)))
         np.testing.assert_allclose(layer(x).numpy(), x.numpy())
+
+    def test_unseeded_dropout_follows_global_seed(self):
+        """A Dropout built without an rng draws from the experiment seed."""
+        x = Tensor(np.ones((16, 16)))
+        set_global_seed(99)
+        first = Dropout(0.5)(x).numpy()
+        set_global_seed(99)
+        second = Dropout(0.5)(x).numpy()
+        np.testing.assert_array_equal(first, second)
+
+    def test_same_seed_same_loss_trajectory_without_explicit_rngs(self):
+        """Regression: models built without rngs must reproduce run-to-run.
+
+        Before the experiment-wide fallback seed, an unseeded Dropout used a
+        fresh ``np.random.default_rng()`` and two identical runs diverged.
+        """
+        from repro.nn import Adam
+        from repro.tensor import functional as F
+
+        data = np.random.default_rng(3).standard_normal((12, 6))
+        labels = np.array([0, 1] * 6)
+
+        def run():
+            set_global_seed(2024)
+            model = MLP([6, 8], output_dim=2, dropout=0.5)  # no rng anywhere
+            model.train()
+            optimizer = Adam(model.parameters(), lr=1e-2)
+            losses = []
+            for _ in range(4):
+                optimizer.zero_grad()
+                loss = F.cross_entropy(model(Tensor(data)), labels)
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            return losses
+
+        assert run() == run()
 
 
 class TestLayerNorm:

@@ -1,12 +1,14 @@
 """Parity, numerical-gradient and node-count tests for the scan-era kernels.
 
-Covers the whole-sequence recurrent scans (``gru_scan`` / ``lstm_scan``), the
-fused attention pooling and the fused layer norm added on top of the original
-fused inventory.  Each kernel is checked against the composed-primitive path
-(the per-step cell loops / the primitive softmax and normalisation chains) in
-both float64 (1e-6) and float32 (looser, error accumulates across time steps),
-including variable-length masked batches, plus float64 central-difference
-gradients and the ``no_grad()`` / O(1)-node-count fast-path guarantees.
+Covers the N-lane scan core (``lane_scan``) behind the whole-sequence
+recurrent kernels (``gru_scan`` / ``lstm_scan`` / the bidirectional wrappers /
+the MoSE expert lanes), the fused attention pooling / layer norm, and the
+fused ``masked_mean`` / ``mix_experts`` pooling kernels.  Each kernel is
+checked against the composed-primitive path (the per-step cell loops / the
+primitive chains) in both float64 (1e-6) and float32 (looser, error
+accumulates across time steps), including variable-length masked batches,
+plus float64 central-difference gradients and the ``no_grad()`` /
+O(1)-node-count fast-path guarantees.
 """
 
 from __future__ import annotations
@@ -14,10 +16,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn import GRU, LSTM, AttentionPooling, LayerNorm
+from repro.nn import GRU, LSTM, AttentionPooling, LayerNorm, lstm_expert_scan
 from repro.tensor import (
     Tensor,
     default_dtype,
+    functional as F,
     fused,
     fused_kernels,
     graph_nodes_created,
@@ -130,8 +133,58 @@ class TestScanSemantics:
 
 
 # --------------------------------------------------------------------------- #
-# Numerical gradients of the scan kernels (float64)                            #
+# Expert lanes: N recurrences over the same input in one scan node             #
 # --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("masked", (False, True))
+class TestExpertLaneScan:
+    def test_lstm_expert_lanes_match_sequential_experts(self, dtype, masked):
+        batch, seq_len, input_dim, hidden_dim, num_experts = 3, 6, 5, 4, 3
+        with default_dtype(dtype):
+            experts = [LSTM(input_dim, hidden_dim, bidirectional=False,
+                            rng=np.random.default_rng(40 + i))
+                       for i in range(num_experts)]
+            x = np.asarray(RNG.standard_normal((batch, seq_len, input_dim)),
+                           dtype=dtype)
+            mask = variable_length_mask(batch, seq_len) if masked else None
+
+            def run(fused_on):
+                with fused_kernels(fused_on):
+                    for expert in experts:
+                        expert.zero_grad()
+                    xt = Tensor(x.copy(), requires_grad=True)
+                    if fused_on:
+                        states = lstm_expert_scan(experts, xt, mask=mask)
+                    else:
+                        states = Tensor.cat(
+                            [expert(xt, mask=mask)[0] for expert in experts],
+                            axis=2)
+                    loss = (states * states).mean()
+                    loss.backward()
+                    return (loss.item(), states.numpy().copy(), xt.grad.copy(),
+                            [p.grad.copy() for expert in experts
+                             for p in expert.parameters()])
+
+            fused_res = run(True)
+            composed_res = run(False)
+        tol = TOLS[dtype]
+        assert abs(fused_res[0] - composed_res[0]) <= tol["atol"] * 10
+        assert fused_res[1].dtype == composed_res[1].dtype == dtype
+        np.testing.assert_allclose(fused_res[1], composed_res[1], **tol)
+        np.testing.assert_allclose(fused_res[2], composed_res[2], **tol)
+        for got, expected in zip(fused_res[3], composed_res[3]):
+            np.testing.assert_allclose(got, expected, **tol)
+
+    def test_expert_scan_is_one_node(self, dtype, masked):
+        with default_dtype(dtype):
+            experts = [LSTM(4, 3, rng=np.random.default_rng(50 + i))
+                       for i in range(4)]
+            x = Tensor(np.asarray(RNG.standard_normal((2, 5, 4)), dtype=dtype))
+            mask = variable_length_mask(2, 5) if masked else None
+            before = graph_nodes_created()
+            states = lstm_expert_scan(experts, x, mask=mask)
+            assert graph_nodes_created() - before <= 1
+            assert states.shape == (2, 5, 4 * 3)
 def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     grad = np.zeros_like(array)
     iterator = np.nditer(array, flags=["multi_index"])
@@ -191,6 +244,41 @@ class TestScanNumericalGradients:
                 xt, ht, ct, wih, whh, b, mask=mask, reverse=reverse) ** 2).sum(),
             x, h0, c0, *weights)
 
+    def test_lstm_expert_lanes(self):
+        """Two LSTM lanes with opposite directions and a shared mask."""
+        cells = [LSTM(3, 2, rng=np.random.default_rng(8 + i)).forward_cell
+                 for i in range(2)]
+        x = RNG.standard_normal((2, 3, 3))
+        h0 = [RNG.standard_normal((2, 2)) for _ in range(2)]
+        c0 = [RNG.standard_normal((2, 2)) for _ in range(2)]
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        weights = [a for cell in cells
+                   for a in (cell.weight_ih.data.copy(), cell.weight_hh.data.copy(),
+                             cell.bias.data.copy())]
+        assert_numerical(
+            lambda xt, h0a, h0b, c0a, c0b, wa, wha, ba, wb, whb, bb:
+            (fused.lane_scan("lstm", xt, (h0a, h0b), (c0a, c0b), (wa, wb),
+                             (wha, whb), (ba, bb), mask=mask,
+                             lane_reverse=(False, True)) ** 2).sum(),
+            x, *h0, *c0, *weights)
+
+    def test_gru_expert_lanes(self):
+        """Three GRU lanes (one reversed) over the same masked input."""
+        cells = [GRU(3, 2, rng=np.random.default_rng(12 + i)).forward_cell
+                 for i in range(3)]
+        x = RNG.standard_normal((2, 3, 3))
+        h0 = [RNG.standard_normal((2, 2)) for _ in range(3)]
+        mask = np.array([[1.0, 1.0, 1.0], [1.0, 1.0, 0.0]])
+        weights = [a for cell in cells
+                   for a in (cell.weight_ih.data.copy(), cell.weight_hh.data.copy(),
+                             cell.bias.data.copy())]
+        assert_numerical(
+            lambda xt, h0a, h0b, h0c, wa, wha, ba, wb, whb, bb, wc, whc, bc:
+            (fused.lane_scan("gru", xt, (h0a, h0b, h0c), None, (wa, wb, wc),
+                             (wha, whb, whc), (ba, bb, bc), mask=mask,
+                             lane_reverse=(False, True, False)) ** 2).sum(),
+            x, *h0, *weights)
+
     def test_attention_pooling(self):
         x = RNG.standard_normal((2, 4, 3))
         scores = RNG.standard_normal((2, 4))
@@ -198,6 +286,20 @@ class TestScanNumericalGradients:
         assert_numerical(
             lambda xt, st: (fused.attention_pooling(xt, st, mask=mask) ** 2).sum(),
             x, scores)
+
+    def test_masked_mean(self):
+        x = RNG.standard_normal((3, 4, 5))
+        mask = np.array([[1.0, 1.0, 1.0, 0.0],
+                         [1.0, 0.0, 0.0, 0.0],
+                         [0.0, 0.0, 0.0, 0.0]])
+        assert_numerical(
+            lambda xt: (fused.masked_mean(xt, mask) ** 2).sum(), x)
+
+    def test_mix_experts(self):
+        stacked = RNG.standard_normal((3, 4, 5))
+        gate = RNG.standard_normal((3, 4))
+        assert_numerical(
+            lambda st, gt: (fused.mix_experts(st, gt) ** 2).sum(), stacked, gate)
 
     def test_layer_norm(self):
         x = RNG.standard_normal((3, 5))
@@ -259,6 +361,78 @@ class TestAttentionLayerNormParity:
         np.testing.assert_allclose(fused_xg, composed_xg, **tol)
         for got, expected in zip(fused_pg, composed_pg):
             np.testing.assert_allclose(got, expected, **tol)
+
+
+# --------------------------------------------------------------------------- #
+# Fused masked mean and expert mixing parity                                   #
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestPoolingMixParity:
+    def test_masked_mean(self, dtype):
+        with default_dtype(dtype):
+            x = np.asarray(RNG.standard_normal((4, 6, 5)), dtype=dtype)
+            mask = variable_length_mask(4, 6)
+            mask[3] = 0.0  # fully-padded row: mean of nothing is zero
+
+            def run(fused_on):
+                with fused_kernels(fused_on):
+                    xt = Tensor(x.copy(), requires_grad=True)
+                    out = F.masked_mean(xt, mask, axis=1)
+                    (out * out).sum().backward()
+                    return out.numpy().copy(), xt.grad.copy()
+
+            fused_out, fused_grad = run(True)
+            composed_out, composed_grad = run(False)
+        tol = TOLS[dtype]
+        assert fused_out.dtype == composed_out.dtype == dtype
+        np.testing.assert_allclose(fused_out, composed_out, **tol)
+        np.testing.assert_allclose(fused_grad, composed_grad, **tol)
+        np.testing.assert_allclose(fused_out[3], 0.0, atol=tol["atol"])
+
+    def test_mix_experts(self, dtype):
+        from repro.models.base import mix_experts
+
+        with default_dtype(dtype):
+            expert_data = [np.asarray(RNG.standard_normal((3, 5)), dtype=dtype)
+                           for _ in range(4)]
+            gate_data = np.asarray(RNG.standard_normal((3, 4)), dtype=dtype)
+
+            def run(fused_on):
+                with fused_kernels(fused_on):
+                    experts = [Tensor(a.copy(), requires_grad=True)
+                               for a in expert_data]
+                    gate = Tensor(gate_data.copy(), requires_grad=True)
+                    out = mix_experts(experts, gate)
+                    (out * out).sum().backward()
+                    return (out.numpy().copy(), gate.grad.copy(),
+                            [e.grad.copy() for e in experts])
+
+            fused_res = run(True)
+            composed_res = run(False)
+        tol = TOLS[dtype]
+        assert fused_res[0].dtype == composed_res[0].dtype == dtype
+        np.testing.assert_allclose(fused_res[0], composed_res[0], **tol)
+        np.testing.assert_allclose(fused_res[1], composed_res[1], **tol)
+        for got, expected in zip(fused_res[2], composed_res[2]):
+            np.testing.assert_allclose(got, expected, **tol)
+
+    def test_single_node_under_grad_and_zero_under_no_grad(self, dtype):
+        with default_dtype(dtype):
+            x = Tensor(np.asarray(RNG.standard_normal((2, 5, 4)), dtype=dtype),
+                       requires_grad=True)
+            stacked = Tensor(np.asarray(RNG.standard_normal((2, 3, 4)), dtype=dtype),
+                             requires_grad=True)
+            gate = Tensor(np.asarray(RNG.standard_normal((2, 3)), dtype=dtype))
+            mask = variable_length_mask(2, 5)
+            before = graph_nodes_created()
+            fused.masked_mean(x, mask)
+            fused.mix_experts(stacked, gate)
+            assert graph_nodes_created() - before == 2
+            before = graph_nodes_created()
+            with no_grad():
+                fused.masked_mean(x, mask)
+                fused.mix_experts(stacked, gate)
+            assert graph_nodes_created() == before
 
 
 # --------------------------------------------------------------------------- #
