@@ -15,6 +15,7 @@ import pytest
 
 from _bench_utils import record_bench, time_call
 
+from repro.core import adversarial_debiasing_distillation_loss
 from repro.nn import (
     GRU,
     LSTM,
@@ -86,6 +87,17 @@ def test_per_op_fused_vs_composed():
         F.distillation_kl(Tensor(logits, requires_grad=True), Tensor(teacher),
                           temperature=4.0).backward()
     _bench_pair("distillation_kl", run_distillation_kl, entries)
+
+    student_features = RNG.standard_normal((BATCH, HIDDEN))
+    teacher_features = RNG.standard_normal((BATCH, HIDDEN))
+
+    def run_add_loss():
+        # Eq. 5-6 on a training-shaped mini-batch: the composed chain builds
+        # ~25 nodes of (batch, batch) intermediates, the fused kernel one.
+        adversarial_debiasing_distillation_loss(
+            Tensor(student_features, requires_grad=True),
+            Tensor(teacher_features), temperature=1.0).backward()
+    _bench_pair("add_loss", run_add_loss, entries)
 
     gru = GRUCell(DIM, HIDDEN, rng=np.random.default_rng(1))
     hidden = RNG.standard_normal((BATCH, HIDDEN))

@@ -1,13 +1,13 @@
-"""Fast scan-kernel smoke checks, wired into the tier-1 flow.
+"""Fast scan- and distillation-kernel smoke checks, wired into the tier-1 flow.
 
 Unlike the ``perf``-marked suites in this directory, these tests are *not*
 gated behind ``--run-perf``: they run in the default tier-1 collection (and
-match ``pytest benchmarks/perf --run-perf -k scan``), so a scan-kernel
-regression — functional or a gross slowdown — is caught on every test run
-without paying for a full benchmark pass.  Shapes are kept tiny and the
-assertions coarse (fused must simply not lose to the per-step composed loop,
-which builds O(T) graph nodes); the calibrated numbers live in
-``BENCH_engine.json`` via the ``--run-perf`` suites.
+match ``pytest benchmarks/perf --run-perf -k "scan or distill"``), so a
+kernel regression — functional or a gross slowdown — is caught on every test
+run without paying for a full benchmark pass.  Shapes are kept tiny and the
+assertions coarse (fused must simply not lose to the composed chains it
+replaces); the calibrated numbers live in ``BENCH_engine.json`` via the
+``--run-perf`` suites.
 """
 
 from __future__ import annotations
@@ -16,8 +16,16 @@ import numpy as np
 
 from _bench_utils import time_call
 
-from repro.nn import GRU, LSTM, lstm_expert_scan
-from repro.tensor import Tensor, fused, fused_kernels, graph_nodes_created
+from repro.core import adversarial_debiasing_distillation_loss
+from repro.nn import GRU, LSTM, Embedding, lstm_expert_scan
+from repro.tensor import (
+    Tensor,
+    functional as F,
+    fused,
+    fused_kernels,
+    graph_nodes_created,
+    no_grad,
+)
 
 RNG = np.random.default_rng(11)
 
@@ -83,6 +91,58 @@ def _gru_args(gru: GRU):
     fwd, bwd = gru.forward_cell, gru.backward_cell
     return (zeros, zeros, fwd.weight_ih, fwd.weight_hh, fwd.bias,
             bwd.weight_ih, bwd.weight_hh, bwd.bias)
+
+
+def test_distill_smoke_add_loss_single_node_and_parity():
+    """The fused ADD kernel must stay one node and match the composed chain.
+
+    Exercises ``fused.add_loss`` in every tier-1 run: the composed ADD builds
+    ~25 nodes of (batch, batch) intermediates per call, the fused path exactly
+    one, with loss and student gradient agreeing to 1e-6.
+    """
+    student_data = RNG.standard_normal((8, 16))
+    teacher = Tensor(RNG.standard_normal((8, 16)))
+    results = {}
+    for fused_on in (True, False):
+        with fused_kernels(fused_on):
+            student = Tensor(student_data.copy(), requires_grad=True)
+            before = graph_nodes_created()
+            loss = adversarial_debiasing_distillation_loss(student, teacher,
+                                                           temperature=2.0)
+            nodes = graph_nodes_created() - before
+            loss.backward()
+            results[fused_on] = (loss.item(), student.grad, nodes)
+    assert results[True][2] == 1
+    assert results[False][2] > 10
+    assert abs(results[True][0] - results[False][0]) < 1e-6
+    np.testing.assert_allclose(results[True][1], results[False][1], atol=1e-6)
+
+
+def test_distill_smoke_embedding_single_node_and_parity():
+    """The fused embedding lookup must stay one node and match the composed path.
+
+    Duplicate indices check the ``np.add.at`` scatter accumulation; the
+    composed ground truth is the generic advanced-indexing node.
+    """
+    table = Embedding(11, 6, rng=np.random.default_rng(5))
+    indices = RNG.integers(0, 11, (4, 7))
+    indices[0, 0] = indices[1, 1] = indices[2, 2] = 3
+    results = {}
+    for fused_on in (True, False):
+        with fused_kernels(fused_on):
+            table.zero_grad()
+            before = graph_nodes_created()
+            out = table(indices)
+            nodes = graph_nodes_created() - before
+            (out * out).sum().backward()
+            results[fused_on] = (out.numpy().copy(), table.weight.grad.copy(), nodes)
+    assert results[True][2] == results[False][2] == 1
+    np.testing.assert_array_equal(results[True][0], results[False][0])
+    np.testing.assert_allclose(results[True][1], results[False][1], atol=1e-10)
+    with fused_kernels(True), no_grad():
+        before = graph_nodes_created()
+        F.embedding(table.weight, indices)
+        assert graph_nodes_created() == before
 
 
 def test_scan_smoke_expert_lanes_match_sequential():

@@ -10,6 +10,11 @@ mixture — three of the five are recurrent, which is where the PR 2
 whole-sequence scan kernels (one graph node per direction instead of one per
 time step) move the needle.
 
+``test_train_step_dtdbd_distillation_fast_path`` measures the paper's actual
+hot loop — a full student-distillation step (CE + ADD + DKD) — comparing the
+uncached composed float64 baseline against the cached fused float32 path
+(frozen-teacher output cache + single-node ADD kernel).
+
 Baseline and fast configurations are timed in alternating rounds
 (best-of-``ROUNDS``) so slow-noisy-neighbour drift on shared machines hits
 both sides equally.  The measured speedups are recorded in
@@ -25,7 +30,12 @@ import time
 import pytest
 
 from _bench_utils import record_bench
-from _perf_workload import build_workload, run_train_steps
+from _perf_workload import (
+    build_dtdbd_workload,
+    build_workload,
+    run_dtdbd_steps,
+    run_train_steps,
+)
 
 pytestmark = pytest.mark.perf
 
@@ -84,3 +94,45 @@ def test_train_step_fused_float32_vs_seed_float64():
     # Acceptance criterion for this PR: the fused float32 fast path must be at
     # least 2x the seed float64 composed path on the train-step benchmark.
     assert geomean >= 2.0, f"train-step speedup {geomean:.2f}x below the 2x target"
+
+
+def test_train_step_dtdbd_distillation_fast_path():
+    """Full student-distillation step (CE + ADD + DKD): the paper's hot loop.
+
+    Baseline is the seed shape of Algorithm 1's inner loop — composed kernels,
+    float64, both frozen teachers re-forwarded on every batch.  The fast path
+    stacks the three PR optimisations: the :class:`TeacherCache` replaces both
+    per-batch teacher forwards with row gathers, the single-node
+    ``fused.add_loss`` collapses the O(B^2)-intermediate ADD chain, and the
+    student runs on the fused float32 path.  Cache materialisation happens in
+    warm-up (one full-dataset pass, amortised over all epochs in real runs).
+    """
+    baseline_trainer, baseline_loader = build_dtdbd_workload("float64", cached=False)
+    fast_trainer, fast_loader = build_dtdbd_workload("float32", cached=True)
+    run_dtdbd_steps(baseline_trainer, baseline_loader, "float64", False, steps=2)
+    run_dtdbd_steps(fast_trainer, fast_loader, "float32", True, steps=2)
+    best_baseline = best_fast = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_dtdbd_steps(baseline_trainer, baseline_loader, "float64", False, steps=STEPS)
+        best_baseline = min(best_baseline, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_dtdbd_steps(fast_trainer, fast_loader, "float32", True, steps=STEPS)
+        best_fast = min(best_fast, time.perf_counter() - start)
+
+    speedup = best_baseline / best_fast
+    entry = {
+        "name": "train_step/dtdbd",
+        "baseline_ms_per_step": round(best_baseline / STEPS * 1e3, 3),
+        "fast_ms_per_step": round(best_fast / STEPS * 1e3, 3),
+        "baseline": "uncached teachers, composed kernels, float64",
+        "fast": "cached teachers, fused kernels, float32",
+        "speedup": round(speedup, 2),
+    }
+    path = record_bench("engine", [entry])
+    print(f"train_step/dtdbd      baseline {best_baseline / STEPS * 1e3:8.2f} ms/step   "
+          f"fast {best_fast / STEPS * 1e3:8.2f} ms/step   {speedup:5.2f}x -> {path}")
+
+    # Acceptance criterion for this PR: cached + fused distillation must be at
+    # least 3x over the uncached composed baseline.
+    assert speedup >= 3.0, f"dtdbd train-step speedup {speedup:.2f}x below the 3x target"

@@ -8,6 +8,7 @@ from repro.core.dat import (
     train_unbiased_teacher,
 )
 from repro.core.distill import (
+    TeacherCache,
     adversarial_debiasing_distillation_loss,
     correlation_matrix,
     domain_knowledge_distillation_loss,
@@ -27,7 +28,7 @@ __all__ = [
     "Trainer", "TrainerConfig", "evaluate_model", "collect_features",
     "DATConfig", "DomainAdversarialModel", "train_unbiased_teacher", "train_dat_student",
     "correlation_matrix", "adversarial_debiasing_distillation_loss",
-    "domain_knowledge_distillation_loss", "teacher_forward",
+    "domain_knowledge_distillation_loss", "teacher_forward", "TeacherCache",
     "MomentumWeightScheduler", "ConstantWeightScheduler", "WeightSnapshot",
     "DTDBDConfig", "DTDBDResult", "DTDBDTrainer", "run_dtdbd_pipeline",
     "DomainReweightedTrainer", "domain_balanced_weights",

@@ -17,9 +17,11 @@
 
 from __future__ import annotations
 
-from repro.data.loader import Batch
+import numpy as np
+
+from repro.data.loader import Batch, DataLoader
 from repro.models.base import FakeNewsDetector
-from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor import Tensor, functional as F, fused, no_grad
 
 
 def correlation_matrix(features: Tensor, normalize: bool = True) -> Tensor:
@@ -47,11 +49,19 @@ def adversarial_debiasing_distillation_loss(student_features: Tensor,
     that *similar* pairs receive high probability mass, matching the intuition
     that the transferred knowledge is "which samples the teacher considers
     close to each other".
+
+    On the fused fast path the whole chain (normalise -> pairwise distances ->
+    row softmax -> temperature KL) runs as the single-node
+    :func:`repro.tensor.fused.add_loss` kernel; the composed path below is its
+    parity ground truth.
     """
     if student_features.shape[0] != teacher_features.shape[0]:
         raise ValueError("student and teacher must encode the same mini-batch")
     if student_features.shape[0] < 2:
         raise ValueError("ADD needs at least two samples to form a correlation matrix")
+    if fused.is_fused_enabled():
+        return fused.add_loss(student_features, teacher_features,
+                              temperature=temperature, normalize=normalize)
     student_matrix = -correlation_matrix(student_features, normalize=normalize)
     teacher_matrix = -correlation_matrix(teacher_features.detach(), normalize=normalize)
     return F.distillation_kl(student_matrix, teacher_matrix, temperature=temperature)
@@ -71,11 +81,145 @@ def teacher_forward(teacher: FakeNewsDetector, batch: Batch) -> tuple[Tensor, Te
     """Run a frozen teacher in eval mode without building a graph.
 
     Returns ``(logits, features)`` as constant tensors.
+
+    A teacher that is already in eval mode — the steady state for the whole of
+    a DTDBD run, where both teachers are frozen and eval'd once up front — is
+    forwarded as-is: no per-batch ``eval()``/``train()`` mode flips (each of
+    which walks the full module tree) and no redundant ``detach()`` (under
+    :func:`no_grad` the outputs are already constants).  Ad-hoc callers with a
+    teacher still in training mode keep the original contract: the forward
+    runs in eval mode and the training flag is restored afterwards.
     """
     was_training = teacher.training
-    teacher.eval()
+    if was_training:
+        teacher.eval()
     with no_grad():
         logits, features = teacher.forward_with_features(batch)
     if was_training:
         teacher.train()
-    return logits.detach(), features.detach()
+    if logits.requires_grad:
+        logits = logits.detach()
+    if features.requires_grad:
+        features = features.detach()
+    return logits, features
+
+
+class TeacherCache:
+    """Precomputed frozen-teacher outputs, served by per-batch gathers.
+
+    Both DTDBD teachers are frozen for the whole of student training, so their
+    per-sample ``(logits, features)`` are constants across every epoch — yet
+    the naive trainer re-runs both teacher forwards on every mini-batch,
+    tripling forward compute per step.  This cache runs each teacher exactly
+    once over the full dataset (fixed-size :meth:`DataLoader.window` passes
+    under ``no_grad`` — see the bit-exactness note below for why not a plain
+    ``iter_eval``) and afterwards serves any mini-batch by gathering rows on
+    ``batch.indices``
+    (absolute dataset positions — see the :class:`repro.data.loader.Batch`
+    contract), which is numerically exact: the same arrays, gathered instead
+    of recomputed.
+
+    The cache materialises lazily on first :meth:`lookup`.  It is only valid
+    while the teacher's parameters and the loader's encoded arrays stay
+    unchanged; callers that mutate either (e.g. fine-tuning the teacher
+    between distillation stages, or re-encoding the corpus) must call
+    :meth:`invalidate`, after which the next lookup recomputes.  Caching an
+    *unfrozen* teacher is refused outright — its outputs would silently go
+    stale after the first optimiser step.
+
+    Bit-exactness subtlety: BLAS kernels pick different code paths for
+    different batch row counts, so a row forwarded in a batch of 16 can
+    differ *in the last ulp* from the same row forwarded in a batch of 11.
+    The materialisation pass therefore runs every row through a window of
+    exactly ``batch_size`` rows (the final window overlaps its predecessor
+    instead of going ragged), which makes gathered outputs bit-identical to
+    a live forward for every *full-size* training batch — :meth:`serves`
+    tells callers which batches that covers, and the DTDBD trainer forwards
+    the (at most one per epoch) ragged batch live.
+    """
+
+    def __init__(self, teacher: FakeNewsDetector, loader: DataLoader,
+                 batch_size: int | None = None):
+        if teacher.parameters():
+            raise ValueError(
+                "TeacherCache requires a frozen teacher (call teacher.freeze() "
+                "first); caching a model whose parameters still receive "
+                "gradients would serve stale outputs")
+        self.teacher = teacher
+        self.loader = loader
+        self._batch_size = batch_size
+        self._logits: np.ndarray | None = None
+        self._features: np.ndarray | None = None
+
+    @property
+    def window_size(self) -> int:
+        """Row count of every materialisation forward (and of served batches)."""
+        return min(self._batch_size or self.loader.batch_size,
+                   self.loader.num_samples)
+
+    def serves(self, batch: Batch) -> bool:
+        """Whether gathering ``batch`` is bit-identical to a live forward.
+
+        True for batches of exactly :attr:`window_size` rows — the shape every
+        cached row was computed with.  Smaller (ragged) batches would hit the
+        BLAS batch-shape effect described in the class docstring; callers that
+        need bit-exact trajectories forward those live.
+        """
+        return len(batch) == self.window_size
+
+    @property
+    def materialised(self) -> bool:
+        """Whether the full-dataset pass has run since the last invalidation."""
+        return self._logits is not None
+
+    def invalidate(self) -> None:
+        """Drop the cached arrays; the next lookup recomputes the full pass."""
+        self._logits = None
+        self._features = None
+
+    def _materialise(self) -> None:
+        was_training = self.teacher.training
+        if was_training:
+            self.teacher.eval()
+        total = self.loader.num_samples
+        window = self.window_size
+        logits_parts: list[np.ndarray] = []
+        features_parts: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, total - window + 1, window):
+                logits, features = self.teacher.forward_with_features(
+                    self.loader.window(start, start + window))
+                logits_parts.append(logits.numpy())
+                features_parts.append(features.numpy())
+            remainder = total % window
+            if remainder:
+                # Ragged tail: re-window over the *last* ``window`` rows so the
+                # tail rows are still produced by a full-size forward, then
+                # keep only the rows not already covered above.
+                logits, features = self.teacher.forward_with_features(
+                    self.loader.window(total - window, total))
+                logits_parts.append(logits.numpy()[window - remainder:])
+                features_parts.append(features.numpy()[window - remainder:])
+        if was_training:
+            self.teacher.train()
+        self._logits = np.concatenate(logits_parts, axis=0)
+        self._features = np.concatenate(features_parts, axis=0)
+
+    def lookup(self, batch: Batch) -> tuple[Tensor, Tensor]:
+        """Return the teacher's ``(logits, features)`` for ``batch`` as constants.
+
+        ``batch`` must come from this cache's loader: indices are plain
+        dataset positions, so a batch from a *different* loader is only
+        detected when an index falls outside the cached range — in-range
+        foreign indices would gather the wrong rows silently.
+        """
+        if self._logits is None:
+            self._materialise()
+        indices = np.asarray(batch.indices)
+        if indices.size and (int(indices.min()) < 0
+                             or int(indices.max()) >= self._logits.shape[0]):
+            raise IndexError(
+                f"batch indices [{int(indices.min())}, {int(indices.max())}] "
+                f"outside the cached dataset of {self._logits.shape[0]} "
+                "samples; was this batch produced by a different loader?")
+        return Tensor(self._logits[indices]), Tensor(self._features[indices])

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.callbacks import EpochRecord, TrainingHistory
 from repro.core.dat import DATConfig, train_unbiased_teacher
 from repro.core.distill import (
+    TeacherCache,
     adversarial_debiasing_distillation_loss,
     domain_knowledge_distillation_loss,
     teacher_forward,
@@ -53,6 +54,12 @@ class DTDBDConfig:
     use_add: bool = True
     use_dkd: bool = True
     max_grad_norm: float = 5.0
+    #: Precompute each frozen teacher's outputs once per loader and serve
+    #: mini-batches by gathering on ``batch.indices`` (numerically exact —
+    #: the same arrays, gathered instead of recomputed) instead of re-running
+    #: both teacher forwards on every step.  See
+    #: :class:`repro.core.distill.TeacherCache` for the invalidation contract.
+    cache_teacher_outputs: bool = True
     verbose: bool = False
 
 
@@ -98,22 +105,79 @@ class DTDBDTrainer:
             self.scheduler = ConstantWeightScheduler(self.config.initial_weight_add)
         self.history = TrainingHistory()
         self.weight_history: list[tuple[float, float]] = [self.scheduler.weights()]
+        #: per-loader frozen-teacher output caches, keyed by loader identity
+        self._teacher_caches: dict[int, tuple[TeacherCache | None, TeacherCache | None]] = {}
 
     # ------------------------------------------------------------------ #
-    def _batch_loss(self, batch) -> tuple:
-        """Overall loss of Eq. 13 for one mini-batch."""
+    # Frozen-teacher output caching                                        #
+    # ------------------------------------------------------------------ #
+    def _caches_for(self, loader: DataLoader) -> tuple[TeacherCache | None, TeacherCache | None]:
+        """The ``(unbiased, clean)`` caches for ``loader`` (built on first use)."""
+        if not self.config.cache_teacher_outputs:
+            return None, None
+        key = id(loader)
+        if key not in self._teacher_caches:
+            self._teacher_caches[key] = (
+                TeacherCache(self.unbiased_teacher, loader)
+                if self.config.use_add else None,
+                TeacherCache(self.clean_teacher, loader)
+                if self.config.use_dkd else None)
+        return self._teacher_caches[key]
+
+    def invalidate_teacher_caches(self) -> None:
+        """Drop every cached teacher output (e.g. after mutating a teacher).
+
+        The next training epoch re-runs the full-dataset teacher passes.  This
+        is never needed inside a normal :meth:`fit` — both teachers are frozen
+        — but ad-hoc callers that reload teacher weights or re-encode a loader
+        between epochs must invalidate before continuing.  The per-loader
+        entries (and their loader references) are released outright, so a
+        trainer cycled across many loaders does not pin them all.
+        """
+        self._teacher_caches.clear()
+
+    # ------------------------------------------------------------------ #
+    def _batch_loss(self, batch,
+                    unbiased_cache: TeacherCache | None = None,
+                    clean_cache: TeacherCache | None = None) -> tuple:
+        """Overall loss of Eq. 13 for one mini-batch.
+
+        Teacher outputs come from the given :class:`TeacherCache` gathers when
+        provided (the trainer's fast path) and from a fresh
+        :func:`teacher_forward` otherwise, so ad-hoc callers can still score a
+        single batch without building a cache.  A ragged batch the cache
+        cannot serve bit-exactly (see :meth:`TeacherCache.serves`) is
+        forwarded live — at most one batch per epoch — which keeps the cached
+        training trajectory bit-identical to the uncached one.
+
+        Note on ragged batches: the ADD term needs at least two samples to
+        form a correlation matrix, so a final batch of size 1 contributes only
+        CE (+ DKD) to the epoch loss.  The skip is surfaced in ``components``
+        (``add`` is reported as 0.0 with ``add_skipped`` set) so epoch-loss
+        mixtures remain interpretable.
+        """
         weight_add, weight_dkd = self.scheduler.weights()
         logits, features = self.student.forward_with_features(batch)
         loss = self.config.classification_weight * self.criterion(logits, batch.labels)
         components = {"ce": loss.item()}
-        if self.config.use_add and len(batch) >= 2:
-            _, teacher_features = teacher_forward(self.unbiased_teacher, batch)
-            add = adversarial_debiasing_distillation_loss(
-                features, teacher_features, temperature=self.config.add_temperature)
-            loss = loss + weight_add * add
-            components["add"] = add.item()
+        if self.config.use_add:
+            if len(batch) >= 2:
+                if unbiased_cache is not None and unbiased_cache.serves(batch):
+                    _, teacher_features = unbiased_cache.lookup(batch)
+                else:
+                    _, teacher_features = teacher_forward(self.unbiased_teacher, batch)
+                add = adversarial_debiasing_distillation_loss(
+                    features, teacher_features, temperature=self.config.add_temperature)
+                loss = loss + weight_add * add
+                components["add"] = add.item()
+            else:
+                components["add"] = 0.0
+                components["add_skipped"] = True
         if self.config.use_dkd:
-            teacher_logits, _ = teacher_forward(self.clean_teacher, batch)
+            if clean_cache is not None and clean_cache.serves(batch):
+                teacher_logits, _ = clean_cache.lookup(batch)
+            else:
+                teacher_logits, _ = teacher_forward(self.clean_teacher, batch)
             dkd = domain_knowledge_distillation_loss(
                 logits, teacher_logits, temperature=self.config.dkd_temperature)
             loss = loss + weight_dkd * dkd
@@ -122,10 +186,11 @@ class DTDBDTrainer:
 
     def train_epoch(self, loader: DataLoader) -> float:
         self.student.train()
+        unbiased_cache, clean_cache = self._caches_for(loader)
         losses = []
         for batch in loader:
             self.optimizer.zero_grad()
-            loss, _, _ = self._batch_loss(batch)
+            loss, _, _ = self._batch_loss(batch, unbiased_cache, clean_cache)
             loss.backward()
             self.clipper.clip(self.optimizer.parameters)
             self.optimizer.step()
@@ -173,6 +238,11 @@ def run_dtdbd_pipeline(student: FakeNewsDetector,
     ``unbiased_teacher_backbone`` must share the student's architecture (the
     paper sets them identical); ``clean_teacher`` is fine-tuned here unless
     ``clean_teacher_pretrained`` is True.
+
+    The distillation stage runs on the frozen-teacher fast path by default
+    (``DTDBDConfig.cache_teacher_outputs``): both teachers are finished
+    training by the time the :class:`DTDBDTrainer` is built, so their outputs
+    are precomputed once and gathered per batch.
     """
     unbiased_teacher, _ = train_unbiased_teacher(
         unbiased_teacher_backbone, train_loader, val_loader,

@@ -26,7 +26,17 @@ FeatureExtractor = Callable[[Sequence[NewsItem], np.ndarray, np.ndarray], np.nda
 
 @dataclass
 class Batch:
-    """One mini-batch of encoded news items."""
+    """One mini-batch of encoded news items.
+
+    ``indices`` carries the *absolute dataset positions* of the rows in this
+    batch (``batch.token_ids[i] == loader.token_ids[batch.indices[i]]``).
+    They are stable across epochs and iteration modes — shuffling permutes
+    which positions land in a batch, never what a position means — which is
+    the contract that lets per-sample caches (e.g.
+    :class:`repro.core.distill.TeacherCache`) precompute over
+    :meth:`DataLoader.iter_eval` once and serve any later batch by gathering
+    on ``batch.indices``.
+    """
 
     token_ids: np.ndarray
     mask: np.ndarray
@@ -93,6 +103,11 @@ class DataLoader:
     def num_domains(self) -> int:
         return self.dataset.num_domains
 
+    @property
+    def num_samples(self) -> int:
+        """Number of rows every ``batch.indices`` entry indexes into."""
+        return len(self.dataset)
+
     def _slice(self, indices: np.ndarray | slice) -> Batch:
         """Build a batch for ``indices``.
 
@@ -130,6 +145,20 @@ class DataLoader:
     def full_batch(self) -> Batch:
         """Return the entire dataset as a single batch (evaluation helper)."""
         return self._slice(slice(0, len(self.dataset)))
+
+    def window(self, start: int, stop: int) -> Batch:
+        """Contiguous zero-copy batch of rows ``[start, stop)``.
+
+        ``start``/``stop`` are absolute dataset positions (the same space as
+        ``Batch.indices``).  This is the precompute entry point for
+        per-sample caches: :class:`repro.core.distill.TeacherCache` walks the
+        dataset in fixed-size windows so every row is forwarded with the same
+        batch shape a full training batch uses.
+        """
+        if not 0 <= start <= stop <= len(self.dataset):
+            raise ValueError(
+                f"window [{start}, {stop}) outside dataset of {len(self.dataset)} rows")
+        return self._slice(slice(start, stop))
 
     def iter_eval(self, batch_size: int | None = None) -> Iterator[Batch]:
         """Deterministic, unshuffled iteration (for evaluation).

@@ -34,7 +34,12 @@ class Linear(Module):
 
 
 class Embedding(Module):
-    """Trainable token-embedding table."""
+    """Trainable token-embedding table.
+
+    Lookups dispatch through :func:`repro.tensor.functional.embedding`, which
+    routes to the single-node fused gather/scatter kernel when fusion is
+    enabled (the default).
+    """
 
     def __init__(self, num_embeddings: int, embedding_dim: int,
                  padding_idx: int | None = None,

@@ -7,7 +7,8 @@ embedding lookup, dropout and pairwise squared Euclidean distances (the
 sample-correlation matrix of Eq. 5 in the paper).
 
 The hot functions (``softmax``, ``log_softmax``, ``cross_entropy``,
-``distillation_kl``) dispatch to the single-node fused kernels in
+``distillation_kl``, ``embedding``, ``masked_mean``) dispatch to the
+single-node fused kernels in
 :mod:`repro.tensor.fused` when fusion is enabled (the default).  The original
 composed-primitive implementations are kept under ``*_reference`` names: they
 are the ground truth for the fused kernels' gradient-parity tests and the
@@ -194,9 +195,22 @@ def information_entropy_loss(domain_probs: Tensor) -> Tensor:
 # Structured helpers                                                           #
 # --------------------------------------------------------------------------- #
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
-    """Look up rows of ``weight`` for integer ``indices`` (any shape)."""
+    """Look up rows of ``weight`` for integer ``indices`` (any shape).
+
+    On the fused fast path this is the single-node
+    :func:`repro.tensor.fused.embedding` kernel (gather forward, one flat
+    ``np.add.at`` scatter backward); the composed path routes through the
+    generic advanced-indexing node and is the parity ground truth.
+    """
     indices = np.asarray(indices, dtype=np.int64)
-    return weight[indices]
+    if fused.is_fused_enabled():
+        return fused.embedding(weight, indices)
+    return embedding_reference(weight, indices)
+
+
+def embedding_reference(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Composed-primitive embedding lookup (ground truth for the fused kernel)."""
+    return weight[np.asarray(indices, dtype=np.int64)]
 
 
 def dropout(x: Tensor, p: float, training: bool,

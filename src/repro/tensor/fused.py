@@ -14,6 +14,9 @@ Kernel inventory
 ``log_softmax``       stable log-softmax along an axis
 ``cross_entropy``     softmax cross-entropy on integer targets (opt. weights)
 ``distillation_kl``   temperature-scaled ``tau^2 KL(teacher || student)``
+``add_loss``          the whole ADD loss (Eq. 5–6): normalise -> pairwise
+                      distances -> row softmax -> temperature KL in one node
+``embedding``         table lookup: gather forward, ``np.add.at`` scatter back
 ``gru_step``          one fused GRU cell step
 ``lstm_step``         one fused LSTM cell step (two-node pair ``h``/``c``)
 ``lane_scan``         the N-lane whole-sequence recurrent scan core
@@ -239,6 +242,102 @@ def distillation_kl(student_logits: Tensor, teacher_logits: Tensor,
         student_logits._accumulate_grad(d_student, owned=True)
 
     return _attach(data, (student_logits,), backward)
+
+
+def _neg_correlation(features: np.ndarray, normalize: bool):
+    """Negated sample-correlation matrix ``-relu(||n_i - n_j||^2)`` (Eq. 5).
+
+    Returns ``(matrix, raw, normed, radii)`` where ``raw`` is the un-clamped
+    distance matrix (its sign drives the relu subgradient in the backward) and
+    ``normed`` / ``radii`` are the L2-normalised features and their norms
+    (``radii`` is ``None`` when ``normalize`` is off).
+    """
+    if normalize:
+        radii = np.sqrt((features * features).sum(axis=-1, keepdims=True))
+        normed = features / (radii + 1e-12)
+    else:
+        radii = None
+        normed = features
+    squared = (normed * normed).sum(axis=1, keepdims=True)
+    raw = squared + squared.T - 2.0 * (normed @ normed.T)
+    return -np.maximum(raw, 0.0), raw, normed, radii
+
+
+def add_loss(student_features: Tensor, teacher_features: Tensor,
+             temperature: float = 1.0, normalize: bool = True) -> Tensor:
+    """Fused adversarial de-biasing distillation loss (Eq. 5–6) in one node.
+
+    Collapses the composed chain — L2-normalise both feature sets, build the
+    pairwise squared-distance matrices, soften the negated rows at
+    ``temperature`` and match them with the ``tau^2``-scaled KL — whose
+    primitive form spawns ~25 graph nodes of ``(batch, batch)`` intermediates
+    per call.  ``teacher_features`` is a constant (the composed path detaches
+    it), so the single analytic backward only flows into the student
+    features.  The relu clamp on numerical-noise negatives is preserved,
+    including its subgradient (zero where the raw distance is non-positive).
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    tau = float(temperature)
+    student = student_features.data
+    batch = student.shape[0]
+    student_matrix, raw, normed, radii = _neg_correlation(student, normalize)
+    teacher_matrix, _, _, _ = _neg_correlation(teacher_features.data, normalize)
+    student_log = _log_softmax_data(student_matrix / tau)
+    q = np.clip(_softmax_data(teacher_matrix / tau, axis=-1), 1e-12, None)
+    value = (tau ** 2) * float((q * (np.log(q) - student_log)).sum()) / float(batch)
+    data = np.asarray(value, dtype=student.dtype)
+    if not _recording(student_features):
+        return _wrap(data)
+
+    def backward(grad):
+        # KL -> student matrix (same rule as the fused distillation_kl)...
+        probs = np.exp(student_log)
+        row_mass = q.sum(axis=-1, keepdims=True)
+        d_matrix = (tau / batch) * (probs * row_mass - q)
+        d_matrix *= grad
+        # ... -> distances (negation + relu subgradient) ...
+        np.negative(d_matrix, out=d_matrix)
+        d_matrix *= raw > 0.0
+        # ... -> normalised features: D_ij = |n_i|^2 + |n_j|^2 - 2 n_i.n_j.
+        sym = d_matrix + d_matrix.T
+        d_normed = 2.0 * (sym.sum(axis=1, keepdims=True) * normed - sym @ normed)
+        if normalize:
+            # n = f / (r + eps) with r = |f|: the correction term routes the
+            # gradient of the norm back through the raw features.
+            scale = 1.0 / (radii + 1e-12)
+            inner = (d_normed * student).sum(axis=1, keepdims=True)
+            d_features = d_normed * scale - student * (inner * scale * scale / radii)
+        else:
+            d_features = d_normed
+        student_features._accumulate_grad(d_features, owned=True)
+
+    return _attach(data, (student_features,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Embedding lookup                                                             #
+# --------------------------------------------------------------------------- #
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Fused table lookup: rows of ``weight`` for integer ``indices`` (any shape).
+
+    The forward is the plain NumPy gather; the backward scatters the incoming
+    gradient back into a zeroed table with a single flat ``np.add.at`` call
+    (duplicate indices accumulate), instead of routing through the generic
+    ``Tensor.__getitem__`` advanced-indexing node.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    data = weight.data[indices]
+    if not _recording(weight):
+        return _wrap(data)
+    flat = indices.reshape(-1)
+
+    def backward(grad):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, flat, grad.reshape(flat.shape[0], *weight.data.shape[1:]))
+        weight._accumulate_grad(full, owned=True)
+
+    return _attach(data, (weight,), backward)
 
 
 # --------------------------------------------------------------------------- #

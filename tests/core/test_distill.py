@@ -4,13 +4,14 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    TeacherCache,
     adversarial_debiasing_distillation_loss,
     correlation_matrix,
     domain_knowledge_distillation_loss,
     teacher_forward,
 )
 from repro.models import build_model
-from repro.tensor import Tensor
+from repro.tensor import Tensor, fused_kernels
 
 
 class TestCorrelationMatrix:
@@ -70,6 +71,22 @@ class TestADDLoss:
             adversarial_debiasing_distillation_loss(Tensor(np.zeros((1, 3))),
                                                     Tensor(np.zeros((1, 3))))
 
+    def test_fused_dispatch_matches_composed(self):
+        """The single-node fused ADD kernel and the composed chain agree."""
+        rng = np.random.default_rng(4)
+        student_data = rng.standard_normal((10, 6))
+        teacher = Tensor(rng.standard_normal((10, 6)))
+        results = {}
+        for fused_on in (True, False):
+            with fused_kernels(fused_on):
+                student = Tensor(student_data.copy(), requires_grad=True)
+                loss = adversarial_debiasing_distillation_loss(
+                    student, teacher, temperature=2.0)
+                loss.backward()
+                results[fused_on] = (loss.item(), student.grad)
+        assert results[True][0] == pytest.approx(results[False][0], abs=1e-9)
+        np.testing.assert_allclose(results[True][1], results[False][1], atol=1e-9)
+
     def test_minimising_loss_matches_teacher_geometry(self):
         """Gradient descent on ADD alone should pull the student's pairwise
         geometry towards the teacher's."""
@@ -117,3 +134,116 @@ class TestTeacherForward:
         teacher.train()
         teacher_forward(teacher, sample_batch)
         assert teacher.training
+
+    def test_training_teacher_forwarded_in_eval_mode(self, model_config, sample_batch):
+        """Ad-hoc callers with a train-mode teacher still get eval outputs."""
+        teacher = build_model("mdfend", model_config)
+        teacher.train()
+        logits, _ = teacher_forward(teacher, sample_batch)
+        teacher.eval()
+        eval_logits, _ = teacher_forward(teacher, sample_batch)
+        np.testing.assert_array_equal(logits.numpy(), eval_logits.numpy())
+
+    def test_no_mode_flips_for_eval_teacher(self, model_config, sample_batch):
+        """The frozen-and-eval steady state must not pay per-batch tree walks.
+
+        Regression test for the old implementation, which called
+        ``teacher.eval()`` (a full recursive module walk) on *every* batch
+        even when the teacher had been in eval mode for the whole run.
+        """
+        teacher = build_model("mdfend", model_config)
+        teacher.freeze()
+        teacher.eval()
+        calls = []
+        original_train = type(teacher).train
+        teacher.train = lambda mode=True: (calls.append(mode),
+                                           original_train(teacher, mode))[1]
+        logits, features = teacher_forward(teacher, sample_batch)
+        assert calls == []
+        assert not teacher.training
+        assert not logits.requires_grad and not features.requires_grad
+
+
+class TestTeacherCache:
+    @pytest.fixture()
+    def frozen_teacher(self, model_config):
+        teacher = build_model("mdfend", model_config)
+        teacher.freeze()
+        teacher.eval()
+        return teacher
+
+    def test_refuses_unfrozen_teacher(self, model_config, train_loader):
+        teacher = build_model("mdfend", model_config)
+        with pytest.raises(ValueError, match="frozen"):
+            TeacherCache(teacher, train_loader)
+
+    def test_lookup_matches_live_forward(self, frozen_teacher, train_loader):
+        """Gathers are bit-identical to per-batch forwards on served batches."""
+        cache = TeacherCache(frozen_teacher, train_loader)
+        assert not cache.materialised
+        for batch in train_loader:
+            logits, features = teacher_forward(frozen_teacher, batch)
+            cached_logits, cached_features = cache.lookup(batch)
+            if cache.serves(batch):
+                np.testing.assert_array_equal(cached_logits.numpy(), logits.numpy())
+                np.testing.assert_array_equal(cached_features.numpy(), features.numpy())
+            else:
+                # Ragged batches hit BLAS batch-shape rounding; values still
+                # agree to far below any training-relevant tolerance.
+                np.testing.assert_allclose(cached_logits.numpy(), logits.numpy(),
+                                           rtol=1e-9, atol=1e-9)
+        assert cache.materialised
+
+    def test_lookup_matches_on_eval_batches(self, frozen_teacher, val_loader):
+        cache = TeacherCache(frozen_teacher, val_loader)
+        for batch in val_loader.iter_eval():
+            if not cache.serves(batch):
+                continue
+            logits, features = teacher_forward(frozen_teacher, batch)
+            cached_logits, cached_features = cache.lookup(batch)
+            np.testing.assert_array_equal(cached_logits.numpy(), logits.numpy())
+            np.testing.assert_array_equal(cached_features.numpy(), features.numpy())
+
+    def test_serves_only_window_sized_batches(self, frozen_teacher, train_loader):
+        cache = TeacherCache(frozen_teacher, train_loader)
+        full = train_loader.window(0, train_loader.batch_size)
+        ragged = train_loader.window(0, 3)
+        assert cache.serves(full)
+        assert not cache.serves(ragged)
+
+    def test_lookup_returns_constants(self, frozen_teacher, train_loader):
+        cache = TeacherCache(frozen_teacher, train_loader)
+        logits, features = cache.lookup(next(iter(train_loader)))
+        assert not logits.requires_grad and not features.requires_grad
+
+    def test_invalidate_recomputes_after_teacher_change(self, model_config,
+                                                        train_loader):
+        teacher = build_model("mdfend", model_config)
+        teacher.freeze()
+        teacher.eval()
+        cache = TeacherCache(teacher, train_loader)
+        batch = next(train_loader.iter_eval())
+        stale_logits, _ = cache.lookup(batch)
+        # Mutate the (frozen) weights in place: without invalidation the cache
+        # keeps serving the precomputed outputs.
+        for _, parameter in teacher._all_parameters_even_frozen():
+            parameter.data = parameter.data + 0.05
+        still_stale, _ = cache.lookup(batch)
+        np.testing.assert_array_equal(still_stale.numpy(), stale_logits.numpy())
+        cache.invalidate()
+        assert not cache.materialised
+        fresh_logits, _ = cache.lookup(batch)
+        live_logits, _ = teacher_forward(teacher, batch)
+        np.testing.assert_array_equal(fresh_logits.numpy(), live_logits.numpy())
+        assert np.abs(fresh_logits.numpy() - stale_logits.numpy()).max() > 0
+
+    def test_rejects_foreign_indices(self, frozen_teacher, train_loader):
+        cache = TeacherCache(frozen_teacher, train_loader)
+        batch = train_loader.window(0, train_loader.batch_size)
+        batch.indices = np.array([0, train_loader.num_samples + 5])
+        with pytest.raises(IndexError, match="different loader"):
+            cache.lookup(batch)
+        # Negative indices must not wrap around to the end of the cache.
+        batch.indices = np.array([0, -3])
+        with pytest.raises(IndexError, match="different loader"):
+            cache.lookup(batch)

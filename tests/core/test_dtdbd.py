@@ -13,7 +13,15 @@ from repro.core import (
     run_dtdbd_pipeline,
     train_unbiased_teacher,
 )
-from repro.models import build_model
+from repro.data import DataLoader, make_weibo21_like, stratified_split
+from repro.encoders import (
+    FrozenPretrainedEncoder,
+    emotion_feature_extractor,
+    style_feature_extractor,
+)
+from repro.models import ModelConfig, build_model
+from repro.tensor import default_dtype
+from repro.utils import set_global_seed
 
 
 @pytest.fixture(scope="module")
@@ -89,6 +97,43 @@ class TestDTDBDTraining:
         for key, value in clean.state_dict().items():
             np.testing.assert_allclose(value, clean_before[key])
 
+    def test_ragged_batch_skips_add_and_surfaces_it(self, model_config, teachers,
+                                                    train_loader):
+        """A final batch of size 1 cannot form a correlation matrix: the ADD
+        term is dropped from that batch's loss (CE + DKD remain), and the skip
+        is surfaced in ``components`` so the epoch loss mixture stays
+        interpretable."""
+        unbiased, clean = teachers
+        student = build_model("textcnn_s", model_config.with_overrides(seed=60))
+        trainer = DTDBDTrainer(student, unbiased, clean,
+                               DTDBDConfig(epochs=1, learning_rate=2e-3))
+        singleton = train_loader.window(0, 1)
+        loss, _, components = trainer._batch_loss(singleton)
+        assert components["add"] == 0.0
+        assert components["add_skipped"] is True
+        assert "ce" in components and "dkd" in components
+        assert loss.item() == pytest.approx(
+            components["ce"] + trainer.scheduler.weight_dkd * components["dkd"])
+        # A regular batch reports a real ADD term and no skip marker.
+        full = train_loader.window(0, train_loader.batch_size)
+        _, _, components = trainer._batch_loss(full)
+        assert components["add"] > 0.0
+        assert "add_skipped" not in components
+
+    def test_invalidate_teacher_caches_releases_entries(self, model_config,
+                                                        teachers, train_loader):
+        unbiased, clean = teachers
+        student = build_model("textcnn_s", model_config.with_overrides(seed=61))
+        trainer = DTDBDTrainer(student, unbiased, clean,
+                               DTDBDConfig(epochs=1, learning_rate=2e-3))
+        trainer.train_epoch(train_loader)
+        assert trainer._teacher_caches
+        trainer.invalidate_teacher_caches()
+        assert not trainer._teacher_caches
+        # Training keeps working after invalidation (caches rebuild lazily).
+        assert np.isfinite(trainer.train_epoch(train_loader))
+        assert trainer._teacher_caches
+
     def test_ablation_modes_run(self, model_config, teachers, train_loader):
         unbiased, clean = teachers
         for kwargs in ({"use_add": False}, {"use_dkd": False},
@@ -100,6 +145,56 @@ class TestDTDBDTraining:
                                    DTDBDConfig(epochs=1, learning_rate=2e-3, **kwargs))
             history = trainer.fit(train_loader)
             assert np.isfinite(history.train_losses[0])
+
+
+class TestTeacherCacheEquivalence:
+    """Cached and uncached DTDBD training are the *same* computation.
+
+    The frozen-teacher output cache gathers precomputed arrays instead of
+    re-running the teachers, and the trainer forwards ragged batches live, so
+    the student's loss trajectory and the scheduler's weight history must be
+    bit-identical under the same seed — in both dtypes.
+    """
+
+    @staticmethod
+    def _run(cached: bool, dtype: str):
+        with default_dtype(dtype):
+            set_global_seed(123)
+            dataset = make_weibo21_like(scale=0.04, seed=7)
+            splits = stratified_split(dataset, train_fraction=0.6,
+                                      val_fraction=0.1, seed=0)
+            vocab = splits.train.build_vocabulary()
+            encoder = FrozenPretrainedEncoder(len(vocab), output_dim=16, seed=3)
+            extractors = {"plm": encoder.as_feature_extractor(),
+                          "style": style_feature_extractor,
+                          "emotion": emotion_feature_extractor}
+            train_loader = DataLoader(splits.train, vocab, max_length=16,
+                                      batch_size=16, shuffle=True, seed=0,
+                                      feature_extractors=extractors)
+            val_loader = DataLoader(splits.val, vocab, max_length=16,
+                                    batch_size=16, shuffle=False, seed=0,
+                                    feature_extractors=extractors)
+            config = ModelConfig(plm_dim=16, num_domains=dataset.num_domains,
+                                 cnn_channels=8, kernel_sizes=(1, 2, 3),
+                                 rnn_hidden=8, hidden_dim=16, mlp_hidden=(16,),
+                                 num_experts=3, expert_hidden=12,
+                                 domain_embedding_dim=6, seed=5)
+            student = build_model("textcnn_s", config.with_overrides(seed=31))
+            unbiased = build_model("textcnn_s", config.with_overrides(seed=21))
+            clean = build_model("mdfend", config.with_overrides(seed=22))
+            trainer = DTDBDTrainer(
+                student, unbiased, clean,
+                DTDBDConfig(epochs=2, learning_rate=2e-3,
+                            cache_teacher_outputs=cached))
+            history = trainer.fit(train_loader, val_loader)
+            return history.train_losses, trainer.weight_history
+
+    @pytest.mark.parametrize("dtype", ("float64", "float32"))
+    def test_identical_loss_trajectory_and_weight_history(self, dtype):
+        cached_losses, cached_weights = self._run(cached=True, dtype=dtype)
+        plain_losses, plain_weights = self._run(cached=False, dtype=dtype)
+        assert cached_losses == plain_losses
+        assert cached_weights == plain_weights
 
 
 class TestPipeline:

@@ -143,6 +143,40 @@ class TestFusedComposedParity:
             lambda s: F.distillation_kl(s, Tensor(teacher), temperature=temperature),
             student, dtype=dtype)
 
+    @pytest.mark.parametrize("normalize", (True, False))
+    def test_add_loss(self, dtype, normalize):
+        student = RNG.standard_normal((9, 5))
+        teacher = np.asarray(RNG.standard_normal((9, 5)), dtype=dtype)
+
+        def build(s):
+            if fused.is_fused_enabled():
+                return fused.add_loss(s, Tensor(teacher), temperature=2.0,
+                                      normalize=normalize)
+            t = Tensor(teacher)
+            student_matrix = -F.pairwise_squared_distances(
+                F.normalize(s) if normalize else s)
+            teacher_matrix = -F.pairwise_squared_distances(
+                F.normalize(t) if normalize else t)
+            return F.distillation_kl(student_matrix, teacher_matrix, temperature=2.0)
+
+        assert_parity(build, student, dtype=dtype)
+
+    def test_add_loss_no_teacher_grad(self, dtype):
+        student = Tensor(RNG.standard_normal((6, 4)), requires_grad=True)
+        teacher = Tensor(RNG.standard_normal((6, 4)), requires_grad=True)
+        with default_dtype(dtype), fused_kernels(True):
+            fused.add_loss(student, teacher, temperature=1.5).backward()
+        assert student.grad is not None
+        assert teacher.grad is None
+
+    def test_embedding(self, dtype):
+        # 2-D indices with duplicates: the scatter backward must accumulate.
+        weight = RNG.standard_normal((7, 4))
+        indices = RNG.integers(0, 7, (3, 5))
+        indices[0, 0] = indices[1, 1] = 2
+        assert_parity(lambda wt: (F.embedding(wt, indices) ** 2).sum(),
+                      weight, dtype=dtype)
+
     @pytest.mark.parametrize("temperature", (1.0, 4.0))
     def test_distillation_kl_no_teacher_grad(self, dtype, temperature):
         student = Tensor(RNG.standard_normal((6, 4)), requires_grad=True)
@@ -340,6 +374,22 @@ class TestFusedNumericalGradients:
         assert_numerical(
             lambda xt, wt, bt: (fused.conv1d(xt, wt, bt, 2) ** 2).sum(), x, w, b)
 
+    @pytest.mark.parametrize("normalize", (True, False))
+    def test_add_loss(self, normalize):
+        student = RNG.standard_normal((6, 4))
+        teacher = RNG.standard_normal((6, 4))
+        assert_numerical(
+            lambda s: fused.add_loss(s, Tensor(teacher), temperature=2.5,
+                                     normalize=normalize),
+            student)
+
+    def test_embedding(self):
+        weight = RNG.standard_normal((6, 3))
+        indices = RNG.integers(0, 6, (2, 4))
+        indices[0, 0] = indices[1, 2] = 4
+        assert_numerical(lambda wt: (fused.embedding(wt, indices) ** 2).sum(),
+                         weight)
+
 
 # --------------------------------------------------------------------------- #
 # Inference fast path: no graph construction under no_grad                     #
@@ -375,7 +425,21 @@ class TestNoGradFastPath:
             _ = F.softmax(x2)
             _ = F.cross_entropy(x2[:, :2], np.array([0, 1, 0]))
             _ = F.distillation_kl(x2, x2, temperature=2.0)
+            _ = fused.add_loss(x2, x2, temperature=2.0)
+            _ = fused.embedding(linear.weight, np.array([[0, 1], [2, 0]]))
         assert graph_nodes_created() == before
+
+    def test_add_loss_and_embedding_are_single_nodes(self):
+        """The composed ADD chain is ~25 nodes; the fused kernels are O(1)."""
+        student = Tensor(RNG.standard_normal((8, 5)), requires_grad=True)
+        teacher = Tensor(RNG.standard_normal((8, 5)))
+        before = graph_nodes_created()
+        fused.add_loss(student, teacher, temperature=2.0)
+        assert graph_nodes_created() - before == 1
+        weight = Tensor(RNG.standard_normal((9, 4)), requires_grad=True)
+        before = graph_nodes_created()
+        fused.embedding(weight, RNG.integers(0, 9, (3, 6)))
+        assert graph_nodes_created() - before == 1
 
     def test_training_still_records_nodes(self):
         linear = Linear(6, 4, rng=np.random.default_rng(0))
