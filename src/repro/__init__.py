@@ -16,6 +16,9 @@ The package is organised as a stack:
 * :mod:`repro.metrics` — F1 and the domain-bias metrics (FNED / FPED / Total).
 * :mod:`repro.analysis` / :mod:`repro.experiments` — t-SNE, case studies and
   the table/figure reproduction harness.
+* :mod:`repro.serve` — the consumer-facing inference layer: bundled pipeline
+  artifacts (weights + vocab + tokenizer/encoder specs + config + dtype), a
+  raw-text :class:`~repro.serve.Predictor` and dynamic micro-batching.
 """
 
 from repro._version import __version__

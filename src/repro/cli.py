@@ -7,9 +7,14 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli compare --dataset chinese --baselines textcnn m3fend --output out.json
     python -m repro.cli ablation --students textcnn_s --output ablation.json
     python -m repro.cli case-study --scale 0.25
+    python -m repro.cli export  --out detector --dtdbd --scale 0.1 --epochs 4
+    python -m repro.cli predict --pipeline detector --text "breaking dom3_topic17 ..."
 
-Every subcommand prints the corresponding paper-layout table and optionally
-writes the raw results as JSON (``--output``).
+Every table subcommand prints the corresponding paper-layout table and
+optionally writes the raw results as JSON (``--output``).  ``export`` trains a
+detector (a baseline, or the full DTDBD student with ``--dtdbd``) and bundles
+it into a ``repro.serve`` pipeline artifact; ``predict`` loads such an
+artifact in a fresh process — no training-time state — and scores raw text.
 
 Environment variables: ``REPRO_SCALE`` / ``REPRO_SCALE_EN`` (corpus scale),
 ``REPRO_EPOCHS`` (training epochs) and ``REPRO_DTYPE`` (``float64`` default;
@@ -137,6 +142,60 @@ def cmd_case_study(args) -> int:
     return 0
 
 
+def cmd_export(args) -> int:
+    from repro.experiments import export_pipeline, train_baseline, train_dtdbd_student, train_unbiased
+
+    config = _base_config(args)
+    bundle = prepare_data(config)
+    model_name = args.model or config.student_name
+    if args.dtdbd:
+        unbiased, _ = train_unbiased(bundle, student_name=model_name)
+        clean, _ = train_baseline(args.teacher, bundle, seed_offset=300)
+        model, report, _ = train_dtdbd_student(bundle, unbiased, clean,
+                                               student_name=model_name)
+        method = f"dtdbd({model_name}, teacher={args.teacher})"
+    else:
+        model, report = train_baseline(model_name, bundle)
+        method = f"baseline({model_name})"
+    path = export_pipeline(model, bundle, args.out,
+                           metadata={"method": method, "test_f1": report.overall_f1})
+    print(f"[exported {method} -> {path}]  test F1={report.overall_f1:.3f}")
+    print(f"score raw text with: python -m repro.cli predict --pipeline {path} "
+          f"--text \"...\"")
+    _maybe_save({"path": path, "method": method, "report": report}, args)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.serve import load_pipeline
+
+    texts = list(args.text or [])
+    if args.input == "-":
+        texts.extend(line.strip() for line in sys.stdin if line.strip())
+    elif args.input:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            texts.extend(line.strip() for line in handle if line.strip())
+    if not texts:
+        print("predict: no texts given (use --text and/or --input)", file=sys.stderr)
+        return 2
+    pipeline = load_pipeline(args.pipeline)
+    domain = int(args.domain) if args.domain and args.domain.isdigit() else args.domain
+    try:
+        predictor = pipeline.predictor(default_domain=domain)
+    except KeyError as error:
+        print(f"predict: {error.args[0]}", file=sys.stderr)
+        return 2
+    print(f"[pipeline: {pipeline.model_name} ({pipeline.dtype}), "
+          f"{len(pipeline.domain_names)} domains, vocab {len(pipeline.vocab)}]")
+    predictions = list(predictor.predict_iter(texts, batch_size=args.max_batch))
+    for text, prediction in zip(texts, predictions):
+        preview = text if len(text) <= 48 else text[:45] + "..."
+        print(f"  {prediction.label_name:4s}  p(fake)={prediction.probability_fake:.3f}  "
+              f"domain={prediction.domain:12s}  {prediction.latency_ms:7.2f} ms  {preview}")
+    _maybe_save([prediction.as_dict() for prediction in predictions], args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -165,6 +224,35 @@ def build_parser() -> argparse.ArgumentParser:
     case = subparsers.add_parser("case-study", help="case study (Figure 3)")
     _add_common(case)
     case.set_defaults(handler=cmd_case_study)
+
+    export = subparsers.add_parser(
+        "export", help="train a detector and bundle it as a servable pipeline")
+    _add_common(export)
+    export.add_argument("--out", type=str, default="pipeline",
+                        help="artifact directory to write (default: ./pipeline)")
+    export.add_argument("--model", type=str, default=None,
+                        help="registry name to train (default: the config's student)")
+    export.add_argument("--dtdbd", action="store_true",
+                        help="run the full DTDBD distillation instead of plain training")
+    export.add_argument("--teacher", type=str, default="mdfend",
+                        help="clean-teacher architecture for --dtdbd (default: mdfend)")
+    export.set_defaults(handler=cmd_export)
+
+    predict = subparsers.add_parser(
+        "predict", help="score raw news text with an exported pipeline")
+    predict.add_argument("--pipeline", type=str, required=True,
+                         help="artifact directory written by 'export'")
+    predict.add_argument("--text", action="append", default=None,
+                         help="news text to score (repeatable)")
+    predict.add_argument("--input", type=str, default=None,
+                         help="file with one text per line ('-' for stdin)")
+    predict.add_argument("--domain", type=str, default=None,
+                         help="domain name or index assumed for all texts")
+    predict.add_argument("--max-batch", type=int, default=64,
+                         help="micro-batch width for scoring (default: 64)")
+    predict.add_argument("--output", type=str, default=None,
+                         help="write raw predictions to this JSON file")
+    predict.set_defaults(handler=cmd_predict)
     return parser
 
 

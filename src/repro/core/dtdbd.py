@@ -218,6 +218,24 @@ class DTDBDTrainer:
                       f"w_ADD={self.scheduler.weight_add:.2f}")
         return self.history
 
+    def export_pipeline(self, path, *, vocab, encoder, max_length: int,
+                        tokenizer=None, domain_names=None,
+                        model_name: str | None = None,
+                        feature_channels=None, metadata=None) -> str:
+        """Bundle the distilled *student* into a servable artifact at ``path``.
+
+        The paper's deployment story is exactly this: the lightweight student
+        — not the teachers — serves multi-domain traffic.  Same contract as
+        :meth:`repro.core.trainer.Trainer.export_pipeline` (``max_length``
+        is required: serving pads to it).
+        """
+        from repro.serve import export_pipeline  # deferred: keep core import-light
+
+        return export_pipeline(self.student, path, vocab=vocab, encoder=encoder,
+                               tokenizer=tokenizer, max_length=max_length,
+                               domain_names=domain_names, model_name=model_name,
+                               feature_channels=feature_channels, metadata=metadata)
+
 
 # --------------------------------------------------------------------------- #
 # End-to-end convenience pipeline                                              #

@@ -122,3 +122,23 @@ class Trainer:
             if stopper is not None and record.val_f1 is not None and stopper.update(record.val_f1):
                 break
         return self.history
+
+    def export_pipeline(self, path, *, vocab, encoder, max_length: int,
+                        tokenizer=None, domain_names=None,
+                        model_name: str | None = None,
+                        feature_channels=None, metadata=None) -> str:
+        """Bundle the trained model into a servable artifact at ``path``.
+
+        Thin wrapper over :func:`repro.serve.export_pipeline`; ``vocab``,
+        ``encoder`` and ``max_length`` must be the ones the training loaders
+        used — ``max_length`` is required because serving pads to it, and a
+        mismatch with the training encode silently shifts probabilities.
+        From a :class:`repro.experiments.DataBundle`, prefer its own
+        ``export_pipeline``, which passes all of them automatically.
+        """
+        from repro.serve import export_pipeline  # deferred: keep core import-light
+
+        return export_pipeline(self.model, path, vocab=vocab, encoder=encoder,
+                               tokenizer=tokenizer, max_length=max_length,
+                               domain_names=domain_names, model_name=model_name,
+                               feature_channels=feature_channels, metadata=metadata)

@@ -1,6 +1,13 @@
 """Data substrate: synthetic corpora, vocabularies, splits and loaders."""
 
-from repro.data.dataset import FAKE_LABEL, REAL_LABEL, MultiDomainNewsDataset, NewsItem
+from repro.data.dataset import (
+    FAKE_LABEL,
+    LABEL_NAMES,
+    REAL_LABEL,
+    MultiDomainNewsDataset,
+    NewsItem,
+    encode_texts,
+)
 from repro.data.loader import Batch, DataLoader
 from repro.data.splits import DatasetSplits, stratified_split
 from repro.data.statistics import (
@@ -20,11 +27,17 @@ from repro.data.synthetic import (
     make_english_like,
     make_weibo21_like,
 )
-from repro.data.tokenizer import CharNGramTokenizer, WhitespaceTokenizer
+from repro.data.tokenizer import (
+    CharNGramTokenizer,
+    WhitespaceTokenizer,
+    register_tokenizer,
+    tokenizer_from_spec,
+)
 from repro.data.vocab import Vocabulary
 
 __all__ = [
-    "NewsItem", "MultiDomainNewsDataset", "REAL_LABEL", "FAKE_LABEL",
+    "NewsItem", "MultiDomainNewsDataset", "REAL_LABEL", "FAKE_LABEL", "LABEL_NAMES",
+    "encode_texts",
     "Batch", "DataLoader",
     "DatasetSplits", "stratified_split",
     "DomainStatistics", "domain_statistics", "dataset_statistics_table", "imbalance_summary",
@@ -32,4 +45,5 @@ __all__ = [
     "WEIBO21_DOMAIN_SPECS", "ENGLISH_DOMAIN_SPECS",
     "make_weibo21_like", "make_english_like", "make_case_study_probes",
     "Vocabulary", "WhitespaceTokenizer", "CharNGramTokenizer",
+    "register_tokenizer", "tokenizer_from_spec",
 ]

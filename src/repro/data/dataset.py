@@ -13,6 +13,34 @@ from repro.data.vocab import Vocabulary
 REAL_LABEL = 0
 FAKE_LABEL = 1
 
+#: Human-readable names of the binary labels, indexed by label id.
+LABEL_NAMES = ("real", "fake")
+
+
+def encode_texts(texts: Sequence[str], vocab: Vocabulary, max_length: int,
+                 tokenizer: WhitespaceTokenizer | None = None,
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Encode raw ``texts`` into ``(token_ids, mask)`` matrices.
+
+    This is the ONE truncation+padding implementation shared by training-time
+    dataset encoding (:meth:`MultiDomainNewsDataset.encode`, hence every
+    :class:`repro.data.DataLoader`) and the serving path
+    (:class:`repro.serve.Predictor`): a tokenizer pass, :meth:`Vocabulary.encode`
+    with truncation to ``max_length`` and right-padding with the pad id, and a
+    0/1 mask covering the surviving (pre-padding) positions.  Tokenizers that
+    carry their own ``max_length`` truncate first, exactly as they do when a
+    dataset is encoded — keeping the two paths byte-identical is pinned by
+    ``tests/serve/test_predictor.py``.
+    """
+    tokenizer = tokenizer or WhitespaceTokenizer()
+    token_ids = np.zeros((len(texts), max_length), dtype=np.int64)
+    mask = np.zeros((len(texts), max_length), dtype=np.float64)
+    for row, text in enumerate(texts):
+        tokens = tokenizer(text)
+        token_ids[row] = vocab.encode(tokens, max_length=max_length, pad=True)
+        mask[row, : min(max_length, len(tokens))] = 1.0
+    return token_ids, mask
+
 
 @dataclass
 class NewsItem:
@@ -112,14 +140,7 @@ class MultiDomainNewsDataset:
     def encode(self, vocab: Vocabulary, max_length: int,
                tokenizer: WhitespaceTokenizer | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Encode every item into ``(token_ids, mask)`` integer/float matrices."""
-        tokenizer = tokenizer or WhitespaceTokenizer()
-        token_ids = np.zeros((len(self.items), max_length), dtype=np.int64)
-        mask = np.zeros((len(self.items), max_length), dtype=np.float64)
-        for row, item in enumerate(self.items):
-            ids = vocab.encode(tokenizer(item.text), max_length=max_length, pad=True)
-            token_ids[row] = ids
-            mask[row, : min(max_length, len(tokenizer(item.text)))] = 1.0
-        return token_ids, mask
+        return encode_texts(self.texts(), vocab, max_length, tokenizer=tokenizer)
 
     # ------------------------------------------------------------------ #
     def summary(self) -> dict:

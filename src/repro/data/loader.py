@@ -104,6 +104,11 @@ class DataLoader:
         return self.dataset.num_domains
 
     @property
+    def tokenizer(self) -> WhitespaceTokenizer:
+        """The tokenizer the dataset was encoded with (for export/serving)."""
+        return self._tokenizer
+
+    @property
     def num_samples(self) -> int:
         """Number of rows every ``batch.indices`` entry indexes into."""
         return len(self.dataset)

@@ -74,11 +74,13 @@ class Vocabulary:
     def encode(self, tokens: Sequence[str], max_length: int | None = None,
                pad: bool = False) -> list[int]:
         """Map tokens to ids, optionally truncating and right-padding."""
-        ids = [self.token_to_id(token) for token in tokens]
         if max_length is not None:
-            ids = ids[:max_length]
-            if pad and len(ids) < max_length:
-                ids = ids + [self.pad_id] * (max_length - len(ids))
+            tokens = tokens[:max_length]
+        lookup = self._token_to_id.get
+        unk = self.unk_id
+        ids = [lookup(token, unk) for token in tokens]
+        if max_length is not None and pad and len(ids) < max_length:
+            ids = ids + [self.pad_id] * (max_length - len(ids))
         return ids
 
     def decode(self, ids: Sequence[int], strip_pad: bool = True) -> list[str]:
@@ -86,3 +88,28 @@ class Vocabulary:
         if strip_pad:
             tokens = [token for token in tokens if token != self.PAD_TOKEN]
         return tokens
+
+    # ------------------------------------------------------------------ #
+    def to_spec(self) -> dict:
+        """JSON-serialisable description preserving the exact id order.
+
+        Token ids are positional (``tokens[i]`` has id ``i``), so a vocabulary
+        rebuilt by :meth:`from_spec` maps every token to the same id — which is
+        what makes saved pipelines reproduce the exporting model's inputs
+        bit-for-bit.
+        """
+        return {"tokens": list(self._id_to_token)}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Vocabulary":
+        tokens = list(spec["tokens"])
+        if tokens[:2] != [cls.PAD_TOKEN, cls.UNK_TOKEN]:
+            raise ValueError(
+                f"vocabulary spec must start with ({cls.PAD_TOKEN!r}, {cls.UNK_TOKEN!r}); "
+                f"got {tokens[:2]!r}")
+        vocab = cls()
+        for token in tokens[2:]:
+            vocab.add(token)
+        if len(vocab) != len(tokens):
+            raise ValueError("vocabulary spec contains duplicate tokens")
+        return vocab

@@ -35,6 +35,7 @@ class FrozenPretrainedEncoder:
         self.hidden_dim = hidden_dim
         self.context_window = context_window
         self.positional_scale = positional_scale
+        self.seed = seed
         rng = np.random.default_rng(seed)
         # Unit-variance token embeddings: token identity must stay the dominant
         # part of the representation (the positional signal is scaled down).
@@ -100,6 +101,28 @@ class FrozenPretrainedEncoder:
         states = self.encode(token_ids, mask)
         counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
         return states.sum(axis=1) / counts
+
+    # ------------------------------------------------------------------ #
+    def to_spec(self) -> dict:
+        """JSON-serialisable description; :meth:`from_spec` is its exact inverse.
+
+        Every weight in this encoder is a deterministic function of the
+        constructor arguments (hashed random projections from ``seed``), so
+        persisting the arguments reconstructs bit-identical features — no
+        weight arrays need to ship with a pipeline artifact.
+        """
+        return {
+            "vocab_size": self.vocab_size,
+            "output_dim": self.output_dim,
+            "hidden_dim": self.hidden_dim,
+            "context_window": self.context_window,
+            "positional_scale": self.positional_scale,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FrozenPretrainedEncoder":
+        return cls(**spec)
 
     # ------------------------------------------------------------------ #
     def as_feature_extractor(self):

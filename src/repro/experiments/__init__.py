@@ -10,6 +10,7 @@ from repro.experiments.runner import (
     TABLE6_BASELINES,
     TABLE7_BASELINES,
     DataBundle,
+    export_pipeline,
     prepare_data,
     run_comparison,
     run_figure2_mixing,
@@ -40,7 +41,8 @@ from repro.experiments.tables import (
 
 __all__ = [
     "ExperimentConfig", "default_chinese_config", "default_english_config", "fast_test_config",
-    "DataBundle", "prepare_data", "train_baseline", "train_unbiased", "train_dtdbd_student",
+    "DataBundle", "prepare_data", "export_pipeline",
+    "train_baseline", "train_unbiased", "train_dtdbd_student",
     "run_comparison", "run_table3", "run_table8_ablation", "run_table9_dat_comparison",
     "run_figure2_mixing", "run_figure3_case_study",
     "TABLE6_BASELINES", "TABLE7_BASELINES",

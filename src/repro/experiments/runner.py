@@ -37,6 +37,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.metrics import EvaluationReport
 from repro.models import build_model
 from repro.models.base import FakeNewsDetector, ModelConfig
+from repro.serve import export_pipeline as serve_export_pipeline
 from repro.tensor import set_default_dtype
 from repro.utils import set_global_seed
 
@@ -84,6 +85,19 @@ class DataBundle:
         )
         return base.with_overrides(**overrides) if overrides else base
 
+    def export_pipeline(self, model: FakeNewsDetector, path,
+                        model_name: str | None = None, metadata: dict | None = None) -> str:
+        """Bundle ``model`` (trained against this bundle) into a servable artifact.
+
+        Every piece of serving state — vocabulary, tokenizer, frozen encoder,
+        sequence length, domain names — comes from the bundle the model was
+        trained on, so any student returned by :func:`train_baseline`,
+        :func:`train_unbiased` or :func:`train_dtdbd_student` is one call away
+        from ``repro.serve.load_pipeline``-able.
+        """
+        return export_pipeline(model, bundle=self, path=path,
+                               model_name=model_name, metadata=metadata)
+
 
 def prepare_data(config: ExperimentConfig) -> DataBundle:
     """Generate the corpus, split it, build the vocabulary and the loaders."""
@@ -130,6 +144,39 @@ def prepare_data(config: ExperimentConfig) -> DataBundle:
         val_loader=loader(splits.val, False),
         test_loader=loader(splits.test, False),
         feature_extractors=extractors,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Serving export                                                               #
+# --------------------------------------------------------------------------- #
+def export_pipeline(model: FakeNewsDetector, bundle: DataBundle, path,
+                    model_name: str | None = None, metadata: dict | None = None) -> str:
+    """Export a bundle-trained model as a ``repro.serve`` pipeline artifact.
+
+    Records the experiment provenance (dataset, scale, seed, dtype) in the
+    artifact's metadata; returns the artifact path.
+    """
+    provenance = {
+        "dataset": bundle.config.dataset,
+        "scale": bundle.config.scale,
+        "seed": bundle.config.seed,
+        "trained_dtype": bundle.config.dtype,
+    }
+    provenance.update(metadata or {})
+    return serve_export_pipeline(
+        model, path,
+        vocab=bundle.vocab,
+        encoder=bundle.encoder,
+        tokenizer=bundle.train_loader.tokenizer,
+        max_length=bundle.config.max_length,
+        domain_names=bundle.dataset.domain_names,
+        model_name=model_name,
+        # Record the channels the model actually trained on; a non-stock
+        # channel then fails fast (PipelineError at predictor construction)
+        # instead of a KeyError deep inside a serving forward.
+        feature_channels=tuple(bundle.feature_extractors),
+        metadata=provenance,
     )
 
 

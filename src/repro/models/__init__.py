@@ -15,6 +15,7 @@ from repro.models.registry import (
     build_model,
     display_name,
     register_model,
+    registry_name,
 )
 from repro.models.style_lstm import StyleLSTM
 from repro.models.textcnn import TextCNN, TextCNNStudent, TextCNNWithEmbedding
@@ -24,5 +25,6 @@ __all__ = [
     "BiGRU", "BiGRUStudent", "TextCNN", "TextCNNStudent", "TextCNNWithEmbedding",
     "BertMLP", "RobertaMLP", "StyleLSTM", "DualEmotion", "MMoE", "MoSE",
     "EANN", "EANNNoDAT", "EDDFN", "EDDFNNoDAT", "MDFEND", "M3FEND", "DomainMemoryBank",
-    "build_model", "available_models", "register_model", "display_name", "DISPLAY_NAMES",
+    "build_model", "available_models", "register_model", "registry_name",
+    "display_name", "DISPLAY_NAMES",
 ]

@@ -12,7 +12,7 @@ Every detector follows the same contract:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 import numpy as np
 
@@ -56,6 +56,24 @@ class ModelConfig:
 
     def with_overrides(self, **overrides) -> "ModelConfig":
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModelConfig":
+        """Rebuild a config saved by :meth:`to_dict` (tuples survive JSON lists)."""
+        known = {field_.name for field_ in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ModelConfig fields {unknown}; known: {sorted(known)}")
+        values = dict(payload)
+        for name in ("kernel_sizes", "mlp_hidden"):
+            if name in values and values[name] is not None:
+                values[name] = tuple(values[name])
+        return cls(**values)
 
 
 class FakeNewsDetector(Module):

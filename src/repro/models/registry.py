@@ -81,6 +81,27 @@ def build_model(name: str, config: ModelConfig, **kwargs) -> FakeNewsDetector:
     return _REGISTRY[key](config, **kwargs)
 
 
+def registry_name(model: FakeNewsDetector) -> str:
+    """Return the registry key that rebuilds ``model`` via :func:`build_model`.
+
+    Resolution prefers the model's own ``name`` attribute when it maps back to
+    the model's exact class (the convention across the zoo), then falls back
+    to a class-identity search so renamed registrations still round-trip.
+    Raises :class:`KeyError` for unregistered classes — register them with
+    :func:`register_model` before exporting a pipeline.
+    """
+    declared = getattr(model, "name", "").lower()
+    if _REGISTRY.get(declared) is type(model):
+        return declared
+    for key, cls in _REGISTRY.items():
+        if cls is type(model):
+            return key
+    raise KeyError(
+        f"{type(model).__name__} is not in the model registry; call "
+        "repro.models.register_model(name, cls) before exporting it so the "
+        "pipeline artifact records a name load_pipeline can rebuild from")
+
+
 def display_name(name: str) -> str:
     return DISPLAY_NAMES.get(name.lower(), name)
 

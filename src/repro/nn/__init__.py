@@ -23,7 +23,13 @@ from repro.nn.losses import (
     MSELoss,
 )
 from repro.nn.optim import SGD, Adam, GradientClipper, Optimizer, StepLR
-from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.serialization import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    read_checkpoint_metadata,
+    save_checkpoint,
+)
 
 __all__ = [
     "Module", "ModuleList", "Sequential",
@@ -35,5 +41,6 @@ __all__ = [
     "GradientReversal", "gradient_reversal",
     "CrossEntropyLoss", "BCEWithLogitsLoss", "MSELoss", "KLDistillationLoss",
     "Optimizer", "SGD", "Adam", "GradientClipper", "StepLR",
-    "save_checkpoint", "load_checkpoint",
+    "save_checkpoint", "load_checkpoint", "read_checkpoint_metadata",
+    "CheckpointError", "CHECKPOINT_FORMAT_VERSION",
 ]

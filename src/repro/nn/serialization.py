@@ -1,19 +1,97 @@
-"""Saving and loading model state dicts as ``.npz`` archives."""
+"""Saving and loading model state dicts as ``.npz`` archives.
+
+Checkpoints written since the serving PR carry a *versioned header* — a JSON
+document stored under the reserved ``CHECKPOINT_META_KEY`` archive entry with
+the format version, the dtype the parameters were saved in and every
+parameter's shape.  Loading validates the header against the receiving module
+and raises :class:`CheckpointError` with a readable diff instead of letting
+``load_state_dict`` fail with a raw NumPy broadcast error.  Legacy archives
+(plain ``np.savez`` of the state dict, as written by PR-1-era
+``save_checkpoint``) have no header and keep loading exactly as before.
+"""
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 
+from repro._version import __version__
 from repro.nn.module import Module
+
+#: Reserved archive key holding the JSON header; never a valid parameter name
+#: (parameter names are dotted attribute paths).
+CHECKPOINT_META_KEY = "__repro_checkpoint__"
+
+#: Bump when the archive layout changes incompatibly.  Loaders accept every
+#: version up to and including their own.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint cannot be loaded into the receiving module.
+
+    Subclasses :class:`ValueError` so pre-header callers that caught the raw
+    shape-mismatch ``ValueError`` keep working.
+    """
+
+
+def checkpoint_metadata(module: Module, state: dict | None = None) -> dict:
+    """The header :func:`save_checkpoint` writes for ``module``.
+
+    Pass the already-built ``state`` dict to avoid a second full parameter
+    copy (``Module.state_dict`` copies every array).
+    """
+    if state is None:
+        state = module.state_dict()
+    dtypes = sorted({str(array.dtype) for array in state.values()})
+    return {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "repro_version": __version__,
+        "dtype": dtypes[0] if len(dtypes) == 1 else dtypes,
+        "parameters": {name: list(array.shape) for name, array in state.items()},
+    }
 
 
 def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
-    """Write a module's full state dict to ``path`` (``.npz`` format)."""
+    """Write a module's full state dict plus the versioned header to ``path``."""
     state = module.state_dict()
     # npz keys cannot be empty; parameter names are always non-empty here.
-    np.savez(path, **state)
+    # The header is stored as a 0-d unicode array: loadable without pickle.
+    meta = np.array(json.dumps(checkpoint_metadata(module, state)))
+    np.savez(path, **{CHECKPOINT_META_KEY: meta}, **state)
+
+
+def read_checkpoint_metadata(path: str | os.PathLike) -> dict | None:
+    """Return the header of the archive at ``path`` (``None`` for legacy files)."""
+    with np.load(path) as archive:
+        if CHECKPOINT_META_KEY not in archive.files:
+            return None
+        return json.loads(str(archive[CHECKPOINT_META_KEY][()]))
+
+
+def _validate_header(meta: dict, module: Module, path: str) -> None:
+    version = meta.get("format_version")
+    if not isinstance(version, int) or version > CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint '{path}' has format version {version!r}, but this build "
+            f"only understands versions <= {CHECKPOINT_FORMAT_VERSION}; "
+            "upgrade the repro package to load it")
+    saved_shapes = {name: tuple(shape)
+                    for name, shape in meta.get("parameters", {}).items()}
+    own_shapes = {name: tensor.data.shape
+                  for name, tensor in module._all_parameters_even_frozen()}
+    mismatched = [
+        f"  {name}: checkpoint {saved_shapes[name]} vs model {own_shapes[name]}"
+        for name in sorted(set(saved_shapes) & set(own_shapes))
+        if saved_shapes[name] != own_shapes[name]
+    ]
+    if mismatched:
+        raise CheckpointError(
+            f"checkpoint '{path}' does not fit {type(module).__name__}: "
+            "parameter shapes differ (was the model built with a different "
+            "ModelConfig?)\n" + "\n".join(mismatched))
 
 
 def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True,
@@ -24,6 +102,11 @@ def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True
     current dtype on load, so a float64-trained checkpoint can be loaded into
     a float32 model (and vice versa).  Pass ``dtype`` to additionally cast the
     whole module first.
+
+    Versioned archives are validated against the module before any parameter
+    is touched: shape mismatches raise :class:`CheckpointError` naming every
+    offending parameter, and archives from a newer format version are refused.
+    Legacy (header-less) archives load exactly as before.
 
     Casting parameters alone does not move *compute* to that dtype: batch
     features, masks and zero states are created under the global policy, and
@@ -37,4 +120,7 @@ def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True
         module.astype(dtype)
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
+    meta_entry = state.pop(CHECKPOINT_META_KEY, None)
+    if meta_entry is not None:
+        _validate_header(json.loads(str(meta_entry[()])), module, os.fspath(path))
     module.load_state_dict(state, strict=strict)

@@ -1,0 +1,54 @@
+"""``repro.serve`` — the consumer-facing inference pipeline API.
+
+The training stack produces a :class:`repro.models.FakeNewsDetector` plus a
+constellation of training-time state (vocabulary, tokenizer, frozen encoder,
+model config, dtype policy).  This subpackage bundles all of it into ONE
+servable artifact and answers "is this news item fake?" from raw text:
+
+* :class:`Pipeline` — model + vocab + tokenizer + frozen-encoder spec +
+  :class:`repro.models.ModelConfig` + engine dtype, with
+  :func:`save_pipeline` / :func:`load_pipeline` persisting the whole bundle
+  as one directory (``manifest.json`` + ``weights.npz`` + ``vocab.json``).
+  Models are reconstructed through :func:`repro.models.build_model`, so any
+  detector registered with :func:`repro.models.register_model` round-trips.
+* :class:`Predictor` — ``predict(texts, domains=None) -> list[Prediction]``
+  over raw text, running under ``no_grad`` on the fused fast path in the
+  pipeline's dtype, plus streaming :meth:`Predictor.predict_iter` for
+  corpus-scale scoring.
+* :class:`MicroBatcher` — a dynamic micro-batching queue
+  (``predictor.microbatch(max_batch, max_latency_ms)``) that amortises many
+  small requests into full-width batches.
+
+Quickstart (see ``examples/serve_quickstart.py`` for the full tour)::
+
+    from repro.serve import Pipeline, load_pipeline
+
+    Pipeline.from_training(model, vocab, encoder).save("artifacts/detector")
+    ...
+    predictor = load_pipeline("artifacts/detector").predictor()
+    [pred] = predictor.predict(["breaking fake_sig_2 dom3_topic17 ..."])
+    print(pred.label_name, pred.probability_fake)
+"""
+
+from repro.serve.microbatch import MicroBatcher, Ticket
+from repro.serve.pipeline import (
+    DEFAULT_FEATURE_CHANNELS,
+    MANIFEST_FILE,
+    PIPELINE_FORMAT_VERSION,
+    VOCAB_FILE,
+    WEIGHTS_FILE,
+    Pipeline,
+    PipelineError,
+    export_pipeline,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.serve.predictor import Prediction, Predictor
+
+__all__ = [
+    "Pipeline", "PipelineError", "save_pipeline", "load_pipeline", "export_pipeline",
+    "Predictor", "Prediction",
+    "MicroBatcher", "Ticket",
+    "PIPELINE_FORMAT_VERSION", "DEFAULT_FEATURE_CHANNELS",
+    "MANIFEST_FILE", "WEIGHTS_FILE", "VOCAB_FILE",
+]

@@ -1,0 +1,125 @@
+"""Dynamic micro-batching: amortise many small requests into full batches.
+
+Serving traffic arrives one item at a time, but the engine's throughput comes
+from batched GEMMs — a 64-row forward costs far less than 64 one-row
+forwards.  :class:`MicroBatcher` sits between the two: requests are
+:meth:`~MicroBatcher.submit`\\ ted individually and held in a queue; the queue
+is flushed through one batched :meth:`repro.serve.Predictor.predict` call as
+soon as ``max_batch`` requests are pending, or as soon as the oldest pending
+request has waited ``max_latency_ms`` (checked on every submit), or on
+:meth:`~MicroBatcher.drain`.
+
+The batcher is deliberately synchronous and single-threaded: flushes happen
+inside ``submit``/``drain`` on the caller's thread, which keeps results
+deterministic and the engine free of locking.  An async front-end (HTTP
+server, worker pool) can drive one batcher per event loop; the queue
+discipline — and the ≥3x throughput it buys, see
+``benchmarks/perf/test_perf_inference.py`` — is the same.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serve.predictor import Prediction, Predictor
+
+
+class Ticket:
+    """Handle for one queued request; resolved when its batch is flushed."""
+
+    __slots__ = ("text", "domain", "submitted_at", "_result")
+
+    def __init__(self, text: str, domain):
+        self.text = text
+        self.domain = domain
+        self.submitted_at = time.perf_counter()
+        self._result: "Prediction | None" = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    @property
+    def result(self) -> "Prediction":
+        """The prediction; raises if the ticket's batch has not flushed yet."""
+        if self._result is None:
+            raise RuntimeError(
+                "ticket is still queued; call MicroBatcher.drain() (or submit "
+                "enough requests to fill a batch) before reading results")
+        return self._result
+
+
+class MicroBatcher:
+    """Queue single requests, score them in predictor-sized batches."""
+
+    def __init__(self, predictor: "Predictor", max_batch: int = 32,
+                 max_latency_ms: float = 10.0):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_latency_ms < 0:
+            raise ValueError("max_latency_ms must be non-negative")
+        self.predictor = predictor
+        self.max_batch = max_batch
+        self.max_latency_ms = max_latency_ms
+        self._pending: list[Ticket] = []
+        #: flush statistics: how many batches went out and why
+        self.batches_flushed = 0
+        self.items_flushed = 0
+        self.flush_reasons = {"full": 0, "latency": 0, "drain": 0}
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, text: str, domain=None) -> Ticket:
+        """Queue one request; may flush the queue (full batch or overdue).
+
+        The domain is resolved (and validated) immediately, so a bad request
+        fails in its own ``submit`` call instead of poisoning the batch it
+        would later be flushed with.
+        """
+        domain = self.predictor._domain_index(domain)
+        if self._pending and self._overdue():
+            self._flush("latency")
+        ticket = Ticket(text, domain)
+        self._pending.append(ticket)
+        if len(self._pending) >= self.max_batch:
+            self._flush("full")
+        return ticket
+
+    def drain(self) -> None:
+        """Flush whatever is pending (call when the request stream pauses)."""
+        if self._pending:
+            self._flush("drain")
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+
+    # ------------------------------------------------------------------ #
+    def _overdue(self) -> bool:
+        waited_ms = (time.perf_counter() - self._pending[0].submitted_at) * 1e3
+        return waited_ms >= self.max_latency_ms
+
+    def _flush(self, reason: str) -> None:
+        batch, self._pending = self._pending, []
+        try:
+            predictions = self.predictor.predict(
+                [ticket.text for ticket in batch],
+                domains=[ticket.domain for ticket in batch])
+        except BaseException:
+            # Put the batch back so a transient failure never loses tickets.
+            self._pending = batch + self._pending
+            raise
+        finished = time.perf_counter()
+        for ticket, prediction in zip(batch, predictions):
+            prediction.latency_ms = (finished - ticket.submitted_at) * 1e3
+            ticket._result = prediction
+        self.batches_flushed += 1
+        self.items_flushed += len(batch)
+        self.flush_reasons[reason] += 1

@@ -1,0 +1,266 @@
+"""The pipeline artifact: one bundle holding everything inference needs.
+
+Artifact layout (one directory per pipeline)::
+
+    detector/
+      manifest.json   # format version, model name + ModelConfig, dtype,
+                      # tokenizer spec, frozen-encoder spec, max_length,
+                      # domain names, feature channels, labels, metadata
+      weights.npz     # versioned checkpoint (repro.nn.save_checkpoint)
+      vocab.json      # token list in id order (Vocabulary.to_spec)
+
+Everything in the manifest is a *spec*, not a pickle: the tokenizer and the
+frozen encoder are reconstructed from their constructor arguments (the
+encoder's weights are deterministic functions of its seed), the model through
+:func:`repro.models.build_model` — so a pipeline saved for a detector
+registered via :func:`repro.models.register_model` loads in any process that
+performs the same registration first.
+
+Loading restores the model under the pipeline's dtype policy and loads the
+saved weights bit-for-bit, so a loaded pipeline reproduces the exporting
+model's probabilities exactly (pinned by ``tests/serve/test_pipeline.py`` in
+both ``REPRO_DTYPE``\\ s).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro._version import __version__
+from repro.data.dataset import LABEL_NAMES
+from repro.data.tokenizer import WhitespaceTokenizer, tokenizer_from_spec
+from repro.data.vocab import Vocabulary
+from repro.encoders.pretrained import FrozenPretrainedEncoder
+from repro.models.base import FakeNewsDetector, ModelConfig
+from repro.models.registry import build_model, registry_name
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.tensor import default_dtype
+
+#: Bump when the artifact layout changes incompatibly.
+PIPELINE_FORMAT_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+WEIGHTS_FILE = "weights.npz"
+VOCAB_FILE = "vocab.json"
+
+#: Feature channels the stock training loaders precompute and the serving
+#: path recomputes from raw text (see ``repro.serve.predictor``).
+DEFAULT_FEATURE_CHANNELS: tuple[str, ...] = ("plm", "style", "emotion")
+
+
+class PipelineError(RuntimeError):
+    """A pipeline artifact is missing, malformed or incompatible."""
+
+
+def _model_dtype(model: FakeNewsDetector) -> str:
+    """The dtype the model's parameters currently live in (no copies made)."""
+    for _, parameter in model._all_parameters_even_frozen():
+        return str(parameter.data.dtype)
+    raise PipelineError(f"{type(model).__name__} has no parameters to serve")
+
+
+@dataclass
+class Pipeline:
+    """A servable bundle: model, vocabulary, tokenizer, encoder and dtype.
+
+    Build one with :meth:`from_training` (deriving the registry name and the
+    dtype from the model itself), persist it with :meth:`save` and restore it
+    with :func:`load_pipeline`.  :meth:`predictor` attaches the raw-text
+    inference front-end.
+    """
+
+    model_name: str
+    model: FakeNewsDetector
+    model_config: ModelConfig
+    vocab: Vocabulary
+    tokenizer: WhitespaceTokenizer
+    encoder: FrozenPretrainedEncoder
+    max_length: int
+    domain_names: list[str]
+    dtype: str
+    feature_channels: tuple[str, ...] = DEFAULT_FEATURE_CHANNELS
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.encoder.vocab_size != len(self.vocab):
+            raise PipelineError(
+                f"frozen encoder was built for a vocabulary of {self.encoder.vocab_size} "
+                f"tokens but the pipeline vocabulary has {len(self.vocab)}; the encoder "
+                "must be the one the model was trained against")
+        if len(self.domain_names) < self.model_config.num_domains:
+            raise PipelineError(
+                f"model expects {self.model_config.num_domains} domains but only "
+                f"{len(self.domain_names)} domain names were provided")
+        self.model.eval()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_training(cls, model: FakeNewsDetector, vocab: Vocabulary,
+                      encoder: FrozenPretrainedEncoder, *,
+                      tokenizer: WhitespaceTokenizer | None = None,
+                      max_length: int = 24,
+                      domain_names: list[str] | None = None,
+                      model_name: str | None = None,
+                      feature_channels: tuple[str, ...] | None = None,
+                      metadata: dict | None = None) -> "Pipeline":
+        """Bundle a trained detector with its training-time state.
+
+        ``model_name`` defaults to the registry key of the model's class
+        (:func:`repro.models.registry_name`), ``dtype`` to the dtype of the
+        model's parameters, ``domain_names`` to ``domain_0 .. domain_{n-1}``,
+        ``feature_channels`` to the stock loader channels.  ``max_length``
+        must be the length the training loaders encoded with — serving pads
+        to it, so a mismatch silently shifts probabilities.
+        """
+        if domain_names is None:
+            domain_names = [f"domain_{i}" for i in range(model.config.num_domains)]
+        if feature_channels is None:
+            feature_channels = DEFAULT_FEATURE_CHANNELS
+        return cls(
+            model_name=model_name or registry_name(model),
+            model=model,
+            model_config=model.config,
+            vocab=vocab,
+            tokenizer=tokenizer or WhitespaceTokenizer(),
+            encoder=encoder,
+            max_length=max_length,
+            domain_names=list(domain_names),
+            dtype=_model_dtype(model),
+            feature_channels=tuple(feature_channels),
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    def manifest(self) -> dict:
+        """The JSON document :func:`save_pipeline` writes as ``manifest.json``."""
+        return {
+            "format_version": PIPELINE_FORMAT_VERSION,
+            "repro_version": __version__,
+            "model": {"name": self.model_name, "config": self.model_config.to_dict()},
+            "dtype": self.dtype,
+            "max_length": self.max_length,
+            "domain_names": list(self.domain_names),
+            "tokenizer": self.tokenizer.to_spec(),
+            "encoder": self.encoder.to_spec(),
+            "feature_channels": list(self.feature_channels),
+            "labels": list(LABEL_NAMES),
+            "metadata": self.metadata,
+        }
+
+    def save(self, path: str | os.PathLike) -> str:
+        return save_pipeline(self, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Pipeline":
+        return load_pipeline(path)
+
+    def predictor(self, **kwargs) -> "Predictor":
+        """A :class:`repro.serve.Predictor` bound to this pipeline."""
+        from repro.serve.predictor import Predictor
+
+        return Predictor(self, **kwargs)
+
+
+def save_pipeline(pipeline: Pipeline, path: str | os.PathLike) -> str:
+    """Write ``pipeline`` as a directory artifact at ``path``; returns the path."""
+    path = os.fspath(path)
+    os.makedirs(path, exist_ok=True)
+    with open(os.path.join(path, MANIFEST_FILE), "w", encoding="utf-8") as handle:
+        json.dump(pipeline.manifest(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(os.path.join(path, VOCAB_FILE), "w", encoding="utf-8") as handle:
+        json.dump(pipeline.vocab.to_spec(), handle)
+        handle.write("\n")
+    save_checkpoint(pipeline.model, os.path.join(path, WEIGHTS_FILE))
+    return path
+
+
+def export_pipeline(model: FakeNewsDetector, path: str | os.PathLike, *,
+                    vocab: Vocabulary, encoder: FrozenPretrainedEncoder,
+                    tokenizer: WhitespaceTokenizer | None = None,
+                    max_length: int = 24,
+                    domain_names: list[str] | None = None,
+                    model_name: str | None = None,
+                    feature_channels: tuple[str, ...] | None = None,
+                    metadata: dict | None = None) -> str:
+    """One-call export: bundle a trained model and write the artifact.
+
+    This is the primitive behind ``Trainer.export_pipeline`` /
+    ``DTDBDTrainer.export_pipeline`` and
+    :func:`repro.experiments.export_pipeline`; returns the artifact path.
+    """
+    pipeline = Pipeline.from_training(
+        model, vocab, encoder, tokenizer=tokenizer, max_length=max_length,
+        domain_names=domain_names, model_name=model_name,
+        feature_channels=feature_channels, metadata=metadata)
+    return save_pipeline(pipeline, path)
+
+
+def load_pipeline(path: str | os.PathLike) -> Pipeline:
+    """Restore a pipeline saved by :func:`save_pipeline`.
+
+    The model is rebuilt with :func:`repro.models.build_model` under the
+    pipeline's dtype policy and the saved weights are loaded bit-for-bit, so
+    no training-time state beyond the artifact (and, for custom detectors,
+    the same :func:`repro.models.register_model` call) is needed.
+    """
+    path = os.fspath(path)
+    manifest_path = os.path.join(path, MANIFEST_FILE)
+    if not os.path.exists(manifest_path):
+        raise PipelineError(
+            f"no pipeline artifact at '{path}' (missing {MANIFEST_FILE}); "
+            "expected a directory written by repro.serve.save_pipeline")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version > PIPELINE_FORMAT_VERSION:
+        raise PipelineError(
+            f"pipeline at '{path}' has format version {version!r}, but this build "
+            f"only understands versions <= {PIPELINE_FORMAT_VERSION}")
+
+    try:
+        with open(os.path.join(path, VOCAB_FILE), "r", encoding="utf-8") as handle:
+            vocab = Vocabulary.from_spec(json.load(handle))
+        tokenizer = tokenizer_from_spec(manifest["tokenizer"])
+        encoder = FrozenPretrainedEncoder.from_spec(manifest["encoder"])
+        model_name = manifest["model"]["name"]
+        model_config = ModelConfig.from_dict(manifest["model"]["config"])
+        dtype = manifest["dtype"]
+    except PipelineError:
+        raise
+    except (OSError, KeyError, ValueError, TypeError) as error:
+        # Missing files, unknown tokenizer kinds, corrupt specs: surface them
+        # all as the documented "malformed artifact" error class.
+        raise PipelineError(f"pipeline at '{path}' is malformed: {error}") from error
+    with default_dtype(dtype):
+        try:
+            model = build_model(model_name, model_config)
+        except KeyError as error:
+            raise PipelineError(
+                f"pipeline at '{path}' needs model '{model_name}', which is not in "
+                "the registry in this process; call repro.models.register_model("
+                f"'{model_name}', <class>) before load_pipeline") from error
+        try:
+            load_checkpoint(model, os.path.join(path, WEIGHTS_FILE))
+        except PipelineError:
+            raise
+        except (OSError, KeyError, ValueError) as error:
+            raise PipelineError(
+                f"pipeline at '{path}' has unloadable weights: {error}") from error
+
+    return Pipeline(
+        model_name=model_name,
+        model=model,
+        model_config=model_config,
+        vocab=vocab,
+        tokenizer=tokenizer,
+        encoder=encoder,
+        max_length=int(manifest["max_length"]),
+        domain_names=list(manifest["domain_names"]),
+        dtype=dtype,
+        feature_channels=tuple(manifest.get("feature_channels",
+                                            DEFAULT_FEATURE_CHANNELS)),
+        metadata=dict(manifest.get("metadata", {})),
+    )

@@ -1,0 +1,268 @@
+"""Raw-text inference front-end over a :class:`repro.serve.Pipeline`.
+
+The :class:`Predictor` closes the gap between "I have a string" and
+``FakeNewsDetector.predict``: it tokenises, encodes and pads exactly like the
+training-time :class:`repro.data.DataLoader` (the shared implementation is
+:func:`repro.data.encode_texts` — parity is pinned by
+``tests/serve/test_predictor.py``), recomputes the pipeline's feature
+channels (frozen-encoder ``plm``, handcrafted ``style`` / ``emotion``) and
+runs the model under ``no_grad`` with fused kernels in the pipeline's dtype.
+
+Padding defaults to the pipeline's training ``max_length`` so serving is
+bit-identical to training-time encoding.  ``bucket_size`` opts into
+length-bucketed padding: each batch is padded only to the next bucket
+boundary past its longest text, which shrinks the time axis for short-text
+traffic.  Models whose outputs depend on the padded region (e.g. recurrent
+encoders with ``mask_padding=False`` consume pad embeddings in the backward
+direction) can shift slightly under bucketing, which is why it is opt-in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import FAKE_LABEL, LABEL_NAMES, encode_texts
+from repro.data.loader import Batch
+from repro.data.tokenizer import WhitespaceTokenizer
+from repro.encoders.features import emotion_features_batch, style_features_batch
+from repro.serve.microbatch import MicroBatcher
+from repro.serve.pipeline import Pipeline, PipelineError
+from repro.tensor import default_dtype, fused_kernels
+
+
+@dataclass
+class Prediction:
+    """One model verdict on one raw-text news item."""
+
+    label: int
+    label_name: str
+    probability_fake: float
+    probabilities: tuple[float, ...]
+    domain: str
+    latency_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "label_name": self.label_name,
+            "probability_fake": self.probability_fake,
+            "probabilities": list(self.probabilities),
+            "domain": self.domain,
+            "latency_ms": self.latency_ms,
+        }
+
+
+class Predictor:
+    """Batched raw-text inference with training-identical encoding.
+
+    Parameters
+    ----------
+    pipeline:
+        The bundle to serve.
+    default_domain:
+        Domain (index or name) assumed for requests that do not specify one;
+        multi-domain detectors condition on it (e.g. the MDFEND domain gate).
+    bucket_size:
+        ``None`` (default) pads every batch to the pipeline's training
+        ``max_length`` — bit-identical to the training encode.  An integer
+        enables length-bucketed padding in multiples of ``bucket_size``
+        (capped at ``max_length``); keep it above the largest convolution
+        kernel of the served model.
+    use_fused:
+        Run forwards with the fused single-node kernels (the fast path).
+        Disable only to cross-check against the composed reference kernels.
+    """
+
+    def __init__(self, pipeline: Pipeline, default_domain: int | str | None = 0,
+                 bucket_size: int | None = None, use_fused: bool = True):
+        self.pipeline = pipeline
+        self.default_domain = 0  # placeholder so _domain_index(None) resolves
+        self.default_domain = self._domain_index(default_domain)
+        if bucket_size is not None and bucket_size < 1:
+            raise ValueError("bucket_size must be a positive integer or None")
+        self.bucket_size = bucket_size
+        self.use_fused = use_fused
+        self._channel_names = self._resolve_channels(pipeline)
+        pipeline.model.eval()
+
+    # ------------------------------------------------------------------ #
+    # Encoding (training-parity path)                                      #
+    # ------------------------------------------------------------------ #
+    #: batched token-feature functions behind the handcrafted channels; both
+    #: read default-whitespace tokens of the raw text, exactly like the
+    #: training extractors in :mod:`repro.encoders.features`
+    _TOKEN_CHANNELS = {"style": style_features_batch, "emotion": emotion_features_batch}
+
+    @staticmethod
+    def _resolve_channels(pipeline: Pipeline) -> tuple[str, ...]:
+        known = ("plm", *Predictor._TOKEN_CHANNELS)
+        unknown = [name for name in pipeline.feature_channels if name not in known]
+        if unknown:
+            raise PipelineError(
+                f"pipeline requires feature channels {unknown} that the serving "
+                f"path cannot recompute from raw text; supported: {sorted(known)}")
+        return tuple(pipeline.feature_channels)
+
+    def _domain_index(self, domain: int | str | None) -> int:
+        if domain is None:
+            return self.default_domain
+        if isinstance(domain, str):
+            try:
+                index = self.pipeline.domain_names.index(domain)
+            except ValueError:
+                raise KeyError(
+                    f"unknown domain '{domain}'; pipeline domains: "
+                    f"{self.pipeline.domain_names}") from None
+        else:
+            index = int(domain)
+        if not 0 <= index < self.pipeline.model_config.num_domains:
+            raise KeyError(
+                f"domain index {index} outside the model's "
+                f"{self.pipeline.model_config.num_domains} domains")
+        return index
+
+    def _resolve_domains(self, domains, count: int) -> np.ndarray:
+        if domains is None:
+            return np.full(count, self.default_domain, dtype=np.int64)
+        if isinstance(domains, (int, str)):
+            return np.full(count, self._domain_index(domains), dtype=np.int64)
+        if len(domains) != count:
+            raise ValueError(f"{len(domains)} domains given for {count} texts")
+        return np.array([self._domain_index(domain) for domain in domains],
+                        dtype=np.int64)
+
+    def _padded_length(self, mask: np.ndarray) -> int:
+        if self.bucket_size is None:
+            return self.pipeline.max_length
+        longest = int(mask.sum(axis=1).max()) if mask.size else 1
+        buckets = -(-max(longest, 1) // self.bucket_size)  # ceil division
+        return min(self.pipeline.max_length, buckets * self.bucket_size)
+
+    def encode_batch(self, texts: Sequence[str], domains=None) -> Batch:
+        """Encode raw ``texts`` into the :class:`repro.data.Batch` the model eats.
+
+        Mirrors :class:`repro.data.DataLoader` exactly: shared
+        :func:`repro.data.encode_texts` truncation+padding, mask cast to the
+        pipeline dtype *before* feature extraction, every floating channel
+        cast to the pipeline dtype after extraction.  The handcrafted
+        ``style``/``emotion`` channels both read default-whitespace tokens of
+        the *untruncated* raw text (like the training extractors), so one
+        tokenisation pass feeds both.
+        """
+        if not texts:
+            raise ValueError("encode_batch needs at least one text")
+        pipeline = self.pipeline
+        domain_ids = self._resolve_domains(domains, len(texts))
+        token_ids, mask = encode_texts(texts, pipeline.vocab, pipeline.max_length,
+                                       tokenizer=pipeline.tokenizer)
+        padded = self._padded_length(mask)
+        if padded < pipeline.max_length:
+            token_ids = token_ids[:, :padded]
+            mask = mask[:, :padded]
+        compute_dtype = np.dtype(pipeline.dtype)
+        mask = mask.astype(compute_dtype, copy=False)
+        features = {}
+        token_lists = None
+        for name in self._channel_names:
+            if name == "plm":
+                values = pipeline.encoder.encode(token_ids, mask)
+            else:
+                if token_lists is None:
+                    tokenize = WhitespaceTokenizer()
+                    token_lists = [tokenize(text) for text in texts]
+                values = self._TOKEN_CHANNELS[name](token_lists)
+            features[name] = values.astype(compute_dtype, copy=False)
+        return Batch(
+            token_ids=token_ids,
+            mask=mask,
+            labels=np.zeros(len(texts), dtype=np.int64),
+            domains=domain_ids,
+            indices=np.arange(len(texts)),
+            features=features,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Inference                                                            #
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, texts: Sequence[str], domains=None) -> np.ndarray:
+        """Class probabilities ``(len(texts), num_classes)`` for raw texts."""
+        if not texts:
+            return np.zeros((0, self.pipeline.model_config.num_classes),
+                            dtype=np.dtype(self.pipeline.dtype))
+        with default_dtype(self.pipeline.dtype), fused_kernels(self.use_fused):
+            batch = self.encode_batch(texts, domains=domains)
+            return self.pipeline.model.predict_proba(batch)
+
+    def predict(self, texts: Sequence[str], domains=None) -> list[Prediction]:
+        """Score a batch of raw texts; one :class:`Prediction` per input.
+
+        ``latency_ms`` is the wall-clock time of the whole batch call — for a
+        per-request queueing latency use :meth:`microbatch`.
+        """
+        if not texts:
+            return []
+        start = time.perf_counter()
+        with default_dtype(self.pipeline.dtype), fused_kernels(self.use_fused):
+            batch = self.encode_batch(texts, domains=domains)
+            probabilities = self.pipeline.model.predict_proba(batch)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        return self._package(batch, probabilities, [elapsed_ms] * len(texts))
+
+    def predict_iter(self, texts: Iterable[str], domains=None,
+                     batch_size: int = 64) -> Iterator[Prediction]:
+        """Stream predictions over an arbitrarily large corpus of texts.
+
+        Consumes ``texts`` lazily in chunks of ``batch_size``, so scoring a
+        generator over a multi-million-item corpus never materialises more
+        than one chunk.  ``domains`` may be ``None``, a single domain applied
+        to every text, or an iterable parallel to ``texts``.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        broadcast = domains is None or isinstance(domains, (int, str))
+        domain_iter = None if broadcast else iter(domains)
+        chunk: list[str] = []
+        chunk_domains: list = []
+        for text in texts:
+            chunk.append(text)
+            if not broadcast:
+                try:
+                    chunk_domains.append(next(domain_iter))
+                except StopIteration:
+                    raise ValueError("domains iterable shorter than texts") from None
+            if len(chunk) >= batch_size:
+                yield from self.predict(chunk, domains=domains if broadcast else chunk_domains)
+                chunk, chunk_domains = [], []
+        if chunk:
+            yield from self.predict(chunk, domains=domains if broadcast else chunk_domains)
+
+    def microbatch(self, max_batch: int = 32,
+                   max_latency_ms: float = 10.0) -> MicroBatcher:
+        """A dynamic micro-batching queue over this predictor.
+
+        Requests submitted one at a time are held until ``max_batch`` of them
+        are pending or the oldest has waited ``max_latency_ms``, then scored
+        as one full-width batch — amortising per-call overhead across
+        requests (see ``benchmarks/perf/test_perf_inference.py``).
+        """
+        return MicroBatcher(self, max_batch=max_batch, max_latency_ms=max_latency_ms)
+
+    # ------------------------------------------------------------------ #
+    def _package(self, batch: Batch, probabilities: np.ndarray,
+                 latencies_ms: Sequence[float]) -> list[Prediction]:
+        labels = probabilities.argmax(axis=1)
+        return [
+            Prediction(
+                label=int(labels[row]),
+                label_name=LABEL_NAMES[int(labels[row])],
+                probability_fake=float(probabilities[row, FAKE_LABEL]),
+                probabilities=tuple(float(p) for p in probabilities[row]),
+                domain=self.pipeline.domain_names[int(batch.domains[row])],
+                latency_ms=float(latencies_ms[row]),
+            )
+            for row in range(probabilities.shape[0])
+        ]

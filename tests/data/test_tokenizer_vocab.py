@@ -1,8 +1,15 @@
 """Tokenizers and the vocabulary."""
 
+import numpy as np
 import pytest
 
-from repro.data import CharNGramTokenizer, Vocabulary, WhitespaceTokenizer
+from repro.data import (
+    CharNGramTokenizer,
+    Vocabulary,
+    WhitespaceTokenizer,
+    register_tokenizer,
+    tokenizer_from_spec,
+)
 
 
 class TestWhitespaceTokenizer:
@@ -83,3 +90,102 @@ class TestVocabulary:
         first = vocab.add("tok")
         second = vocab.add("tok")
         assert first == second
+
+
+class TestTokenizerSpecs:
+    def test_whitespace_round_trip(self):
+        tokenizer = WhitespaceTokenizer(lowercase=False, max_length=7)
+        rebuilt = tokenizer_from_spec(tokenizer.to_spec())
+        assert isinstance(rebuilt, WhitespaceTokenizer)
+        assert rebuilt.lowercase is False and rebuilt.max_length == 7
+        assert rebuilt("A b C d") == tokenizer("A b C d")
+
+    def test_char_ngram_round_trip(self):
+        tokenizer = CharNGramTokenizer(n=2, lowercase=True, max_length=5)
+        rebuilt = tokenizer_from_spec(tokenizer.to_spec())
+        assert isinstance(rebuilt, CharNGramTokenizer)
+        assert rebuilt("AbCdEf") == tokenizer("AbCdEf")
+
+    def test_unknown_kind_rejected_with_hint(self):
+        with pytest.raises(KeyError, match="register_tokenizer"):
+            tokenizer_from_spec({"kind": "sentencepiece"})
+
+    def test_register_tokenizer_requires_kind_and_uniqueness(self):
+        class NoKind:
+            kind = ""
+
+        with pytest.raises(ValueError, match="kind"):
+            register_tokenizer(NoKind)
+        with pytest.raises(ValueError, match="already registered"):
+            class Clash:
+                kind = WhitespaceTokenizer.kind
+            register_tokenizer(Clash)
+        # re-registering the same class is an idempotent no-op
+        register_tokenizer(WhitespaceTokenizer)
+
+
+class TestVocabularySpec:
+    def test_round_trip_preserves_every_id(self):
+        vocab = Vocabulary("the quick brown fox the the quick".split())
+        rebuilt = Vocabulary.from_spec(vocab.to_spec())
+        assert len(rebuilt) == len(vocab)
+        for token in ("the", "quick", "brown", "fox", Vocabulary.PAD_TOKEN):
+            assert rebuilt.token_to_id(token) == vocab.token_to_id(token)
+
+    def test_spec_is_json_serialisable(self):
+        import json
+
+        vocab = Vocabulary("a b c".split())
+        assert Vocabulary.from_spec(json.loads(json.dumps(vocab.to_spec())))\
+            .token_to_id("b") == vocab.token_to_id("b")
+
+    def test_bad_reserved_prefix_rejected(self):
+        with pytest.raises(ValueError, match="must start with"):
+            Vocabulary.from_spec({"tokens": ["a", "b", "c"]})
+
+    def test_duplicate_tokens_rejected(self):
+        tokens = [Vocabulary.PAD_TOKEN, Vocabulary.UNK_TOKEN, "a", "a"]
+        with pytest.raises(ValueError, match="duplicate"):
+            Vocabulary.from_spec({"tokens": tokens})
+
+
+class TestEncodeTextsParity:
+    """encode_texts IS the dataset/loader encode path (shared implementation)."""
+
+    def test_matches_dataset_encode(self):
+        from repro.data import MultiDomainNewsDataset, NewsItem, encode_texts
+
+        texts = ["alpha beta gamma", "alpha " * 30, "beta", ""]
+        items = [NewsItem(text=text, label=0, domain=0, domain_name="d")
+                 for text in texts]
+        dataset = MultiDomainNewsDataset(items, ["d"])
+        vocab = dataset.build_vocabulary()
+        ids_a, mask_a = dataset.encode(vocab, max_length=8)
+        ids_b, mask_b = encode_texts(texts, vocab, max_length=8)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(mask_a, mask_b)
+
+    def test_truncation_padding_and_mask(self):
+        from repro.data import encode_texts
+
+        vocab = Vocabulary("a b c".split())
+        ids, mask = encode_texts(["a b c a b c", "c", ""], vocab, max_length=4)
+        assert ids.shape == mask.shape == (3, 4)
+        assert mask.tolist() == [[1, 1, 1, 1], [1, 0, 0, 0], [0, 0, 0, 0]]
+        assert (ids[1, 1:] == vocab.pad_id).all()
+        assert (ids[2] == vocab.pad_id).all()
+
+    def test_tokenizer_own_max_length_truncates_first(self):
+        """A tokenizer-side cap shortens the mask, same as dataset encoding."""
+        from repro.data import MultiDomainNewsDataset, NewsItem, encode_texts
+
+        tokenizer = WhitespaceTokenizer(max_length=3)
+        text = "a b c d e f"
+        vocab = Vocabulary(text.split())
+        ids, mask = encode_texts([text], vocab, max_length=5, tokenizer=tokenizer)
+        assert mask[0].tolist() == [1, 1, 1, 0, 0]
+        dataset = MultiDomainNewsDataset(
+            [NewsItem(text=text, label=0, domain=0, domain_name="d")], ["d"])
+        ids_d, mask_d = dataset.encode(vocab, max_length=5, tokenizer=tokenizer)
+        np.testing.assert_array_equal(ids, ids_d)
+        np.testing.assert_array_equal(mask, mask_d)

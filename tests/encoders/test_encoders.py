@@ -94,3 +94,55 @@ class TestHandcraftedFeatures:
     def test_style_sensational_fraction(self):
         vec = style_features(["style_sensational1", "style_sensational2", "other", "other"])
         assert vec[3] == pytest.approx(0.5)
+
+
+class TestBatchedFeatureParity:
+    """Vectorised feature extraction must equal the scalar ground truth bitwise."""
+
+    def test_batch_matches_scalar_bit_for_bit(self):
+        from repro.encoders.features import emotion_features_batch, style_features_batch
+
+        rng = np.random.default_rng(1)
+        pool = ["style_sensational_x", "style_formal", "common", "common12",
+                "emo_arousal", "emo_neutral_b", "dom3_topic17", "fake_sig_2",
+                "wordy_longer_token", "a"]
+        token_lists = [list(rng.choice(pool, int(rng.integers(0, 30))))
+                       for _ in range(64)]
+        token_lists += [[], ["emo_arousal"], ["emo_neutral_b"], ["common"] * 5]
+        style_rows = style_features_batch(token_lists)
+        emotion_rows = emotion_features_batch(token_lists)
+        for row, tokens in enumerate(token_lists):
+            np.testing.assert_array_equal(style_rows[row], style_features(tokens))
+            np.testing.assert_array_equal(emotion_rows[row], emotion_features(tokens))
+
+    def test_pathological_token_falls_back_to_scalar_path(self):
+        """One huge unbroken token must not inflate the flat unicode array."""
+        from repro.encoders.features import (
+            MAX_VECTORISED_TOKEN_CHARS,
+            emotion_features_batch,
+            style_features_batch,
+        )
+
+        monster = "x" * (MAX_VECTORISED_TOKEN_CHARS * 4)
+        token_lists = [["common1", monster], ["emo_arousal_a", "style_formal_b"], []]
+        style_rows = style_features_batch(token_lists)
+        emotion_rows = emotion_features_batch(token_lists)
+        for row, tokens in enumerate(token_lists):
+            np.testing.assert_array_equal(style_rows[row], style_features(tokens))
+            np.testing.assert_array_equal(emotion_rows[row], emotion_features(tokens))
+
+    def test_extractors_use_batch_path(self):
+        from repro.data import NewsItem
+        from repro.encoders import emotion_feature_extractor, style_feature_extractor
+
+        items = [NewsItem(text="style_formal1 common3 emo_arousal2", label=0,
+                          domain=0, domain_name="d"),
+                 NewsItem(text="", label=0, domain=0, domain_name="d")]
+        style = style_feature_extractor(items, None, None)
+        emotion = emotion_feature_extractor(items, None, None)
+        assert style.shape == (2, 6) and emotion.shape == (2, 5)
+        np.testing.assert_array_equal(style[0],
+                                      style_features(items[0].text.split()))
+        np.testing.assert_array_equal(style[1], style_features([]))
+        np.testing.assert_array_equal(emotion[0],
+                                      emotion_features(items[0].text.split()))

@@ -70,3 +70,60 @@ class TestCLI:
         assert "BERT" in capsys.readouterr().out
         loaded = load_results(output)
         assert "bert" in loaded and "f1" in loaded["bert"]
+
+
+class TestServeCLI:
+    def test_parser_has_serving_subcommands(self):
+        text = build_parser().format_help()
+        assert "export" in text and "predict" in text
+
+    def test_export_then_predict_fresh_process_state(self, tmp_path, capsys):
+        """`export` writes an artifact that `predict` can serve with no shared state."""
+        artifact = tmp_path / "detector"
+        code = main(["export", "--dataset", "chinese", "--scale", "0.05",
+                     "--epochs", "1", "--out", str(artifact)])
+        assert code == 0
+        assert "exported baseline" in capsys.readouterr().out
+        assert (artifact / "manifest.json").exists()
+        assert (artifact / "weights.npz").exists()
+        assert (artifact / "vocab.json").exists()
+
+        output = tmp_path / "predictions.json"
+        code = main(["predict", "--pipeline", str(artifact),
+                     "--text", "breaking dom3_topic17 fake_sig_2 emo_arousal_high",
+                     "--text", "calm dom0_topic2 common_word report",
+                     "--domain", "science", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p(fake)=" in out and "science" in out
+        predictions = load_results(output)
+        assert len(predictions) == 2
+        for row in predictions:
+            assert row["label_name"] in ("real", "fake")
+            assert 0.0 <= row["probability_fake"] <= 1.0
+            assert row["domain"] == "science"
+
+    def test_predict_requires_texts(self, tmp_path, capsys):
+        assert main(["predict", "--pipeline", str(tmp_path)]) == 2
+        assert "no texts" in capsys.readouterr().err
+
+    def test_predict_rejects_unknown_domain_cleanly(self, tmp_path, capsys):
+        artifact = tmp_path / "detector"
+        main(["export", "--dataset", "chinese", "--scale", "0.05",
+              "--epochs", "1", "--out", str(artifact)])
+        capsys.readouterr()
+        code = main(["predict", "--pipeline", str(artifact),
+                     "--text", "x", "--domain", "galactic"])
+        assert code == 2
+        assert "unknown domain" in capsys.readouterr().err
+
+    def test_predict_reads_input_file(self, tmp_path, capsys):
+        artifact = tmp_path / "detector"
+        main(["export", "--dataset", "chinese", "--scale", "0.05",
+              "--epochs", "1", "--out", str(artifact)])
+        capsys.readouterr()
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("first item text\n\nsecond item text\n")
+        assert main(["predict", "--pipeline", str(artifact),
+                     "--input", str(corpus)]) == 0
+        assert capsys.readouterr().out.count("p(fake)=") == 2

@@ -115,3 +115,33 @@ class TestTablePipelines:
         assert len(rows) == 3
         for row in rows:
             assert {p.model for p in row.predictions} == {"m3fend", "mdfend", "dtdbd"}
+
+
+class TestExportPipeline:
+    def test_bundle_trained_model_round_trips(self, bundle, tmp_path):
+        from repro.experiments import export_pipeline
+        from repro.serve import load_pipeline
+
+        model, _ = train_baseline(bundle.config.student_name, bundle, epochs=1)
+        path = export_pipeline(model, bundle, tmp_path / "artifact")
+        pipeline = load_pipeline(path)
+        assert pipeline.model_name == bundle.config.student_name
+        assert pipeline.max_length == bundle.config.max_length
+        assert pipeline.domain_names == bundle.dataset.domain_names
+        assert pipeline.metadata["dataset"] == bundle.config.dataset
+        assert pipeline.metadata["seed"] == bundle.config.seed
+        # serving probabilities == training-loader probabilities for the same rows
+        items = bundle.splits.test.items[: bundle.config.batch_size]
+        loader_like = bundle.test_loader.window(0, len(items))
+        expected = model.predict_proba(loader_like)
+        observed = pipeline.predictor().predict_proba(
+            [item.text for item in items],
+            domains=[item.domain for item in items])
+        np.testing.assert_array_equal(observed, expected)
+
+    def test_databundle_method_matches_function(self, bundle, tmp_path):
+        from repro.serve import load_pipeline
+
+        model, _ = train_baseline(bundle.config.student_name, bundle, epochs=1)
+        path = bundle.export_pipeline(model, tmp_path / "via_method")
+        assert load_pipeline(path).model_name == bundle.config.student_name

@@ -1,0 +1,299 @@
+"""Pipeline artifact round-trips: save → load → predict must be bit-identical.
+
+Covers the three model provenances the serving API promises to round-trip —
+a plain baseline, a DTDBD-distilled student and a user-registered custom
+detector — in both engine dtypes, plus the artifact error paths and the
+versioned checkpoint header.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import DTDBDConfig, DTDBDTrainer
+from repro.data import MultiDomainNewsDataset, NewsItem
+from repro.models import (
+    FakeNewsDetector,
+    available_models,
+    build_model,
+    register_model,
+    registry_name,
+)
+from repro.models.base import pooled_plm
+from repro.nn import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    read_checkpoint_metadata,
+    save_checkpoint,
+)
+from repro.serve import (
+    MANIFEST_FILE,
+    PIPELINE_FORMAT_VERSION,
+    Pipeline,
+    PipelineError,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.tensor import default_dtype
+
+DTYPES = ("float64", "float32")
+
+
+class UnitCustomDetector(FakeNewsDetector):
+    """Minimal user-defined detector used to prove custom models round-trip."""
+
+    name = "unit_serve_custom"
+
+    def __init__(self, config):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        self.classifier = self._build_classifier(config.plm_dim, rng)
+
+    @property
+    def feature_dim(self):
+        return self.config.plm_dim
+
+    def extract_features(self, batch):
+        return pooled_plm(batch)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _custom_model_registration():
+    """Register the custom detector for this module, leave no global trace."""
+    from repro.models import registry
+
+    if "unit_serve_custom" not in available_models():
+        register_model("unit_serve_custom", UnitCustomDetector)
+    yield
+    registry._REGISTRY.pop("unit_serve_custom", None)
+
+
+@pytest.fixture(scope="module")
+def probe_texts(tiny_splits):
+    items = tiny_splits.test.items[:6]
+    return [item.text for item in items], [item.domain for item in items]
+
+
+def _build(name, model_config, dtype):
+    with default_dtype(dtype):
+        return build_model(name, model_config)
+
+
+def _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset):
+    return Pipeline.from_training(model, tiny_vocab, tiny_encoder, max_length=16,
+                                  domain_names=tiny_dataset.domain_names)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("name", ("textcnn_s", "unit_serve_custom"))
+class TestRoundTrip:
+    def test_save_load_predict_bit_identical(self, name, dtype, model_config,
+                                             tiny_vocab, tiny_encoder, tiny_dataset,
+                                             probe_texts, tmp_path):
+        texts, domains = probe_texts
+        model = _build(name, model_config, dtype)
+        pipeline = _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset)
+        assert pipeline.dtype == dtype
+        expected = pipeline.predictor().predict_proba(texts, domains=domains)
+        assert expected.dtype == np.dtype(dtype)
+
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+        loaded = load_pipeline(path)
+        assert loaded.model_name == name
+        assert loaded.dtype == dtype
+        assert loaded.max_length == 16
+        assert loaded.domain_names == tiny_dataset.domain_names
+        restored = loaded.predictor().predict_proba(texts, domains=domains)
+        np.testing.assert_array_equal(restored, expected)
+
+    def test_loaded_model_parameters_bitwise_equal(self, name, dtype, model_config,
+                                                   tiny_vocab, tiny_encoder,
+                                                   tiny_dataset, tmp_path):
+        model = _build(name, model_config, dtype)
+        pipeline = _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset)
+        loaded = load_pipeline(save_pipeline(pipeline, tmp_path / "artifact"))
+        source_state = model.state_dict()
+        for key, value in loaded.model.state_dict().items():
+            assert value.dtype == np.dtype(dtype)
+            np.testing.assert_array_equal(value, source_state[key])
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_dtdbd_student_round_trips(dtype, model_config, tiny_vocab, tiny_encoder,
+                                   tiny_dataset, train_loader, probe_texts, tmp_path):
+    """The paper's deployable artifact — a distilled student — must round-trip."""
+    texts, domains = probe_texts
+    with default_dtype(dtype):
+        student = build_model("textcnn_s", model_config)
+        unbiased = build_model("textcnn_s", model_config.with_overrides(seed=11))
+        clean = build_model("mdfend", model_config.with_overrides(seed=12))
+        trainer = DTDBDTrainer(student, unbiased, clean,
+                               DTDBDConfig(epochs=1, learning_rate=1e-3))
+        trainer.fit(train_loader)
+    path = trainer.export_pipeline(tmp_path / "student", vocab=tiny_vocab,
+                                   encoder=tiny_encoder, max_length=16,
+                                   domain_names=tiny_dataset.domain_names)
+    pipeline = load_pipeline(path)
+    assert pipeline.model_name == "textcnn_s"
+    assert pipeline.dtype == dtype
+    expected = Pipeline.from_training(
+        student, tiny_vocab, tiny_encoder, max_length=16,
+        domain_names=tiny_dataset.domain_names).predictor().predict_proba(
+            texts, domains=domains)
+    np.testing.assert_array_equal(
+        pipeline.predictor().predict_proba(texts, domains=domains), expected)
+
+
+class TestArtifactFormat:
+    def test_manifest_contents(self, model_config, tiny_vocab, tiny_encoder,
+                               tiny_dataset, tmp_path):
+        model = _build("textcnn_s", model_config, "float64")
+        pipeline = _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset)
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+        with open(os.path.join(path, MANIFEST_FILE)) as handle:
+            manifest = json.load(handle)
+        assert manifest["format_version"] == PIPELINE_FORMAT_VERSION
+        assert manifest["model"]["name"] == "textcnn_s"
+        assert manifest["model"]["config"]["plm_dim"] == model_config.plm_dim
+        assert manifest["dtype"] == "float64"
+        assert manifest["tokenizer"]["kind"] == "whitespace"
+        assert manifest["encoder"]["vocab_size"] == len(tiny_vocab)
+        assert manifest["labels"] == ["real", "fake"]
+
+    def test_missing_artifact_errors(self, tmp_path):
+        with pytest.raises(PipelineError, match="no pipeline artifact"):
+            load_pipeline(tmp_path / "nowhere")
+
+    def test_malformed_artifact_raises_pipeline_error(self, model_config, tiny_vocab,
+                                                      tiny_encoder, tiny_dataset,
+                                                      tmp_path):
+        """Any broken piece — files or specs — surfaces as PipelineError."""
+        model = _build("textcnn_s", model_config, "float64")
+        path = save_pipeline(
+            _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
+            tmp_path / "artifact")
+        os.remove(os.path.join(path, "vocab.json"))
+        with pytest.raises(PipelineError, match="malformed"):
+            load_pipeline(path)
+
+        path = save_pipeline(
+            _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
+            tmp_path / "artifact2")
+        manifest_path = os.path.join(path, MANIFEST_FILE)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["tokenizer"] = {"kind": "sentencepiece"}
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(PipelineError, match="malformed"):
+            load_pipeline(path)
+
+        path = save_pipeline(
+            _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
+            tmp_path / "artifact3")
+        os.remove(os.path.join(path, "weights.npz"))
+        with pytest.raises(PipelineError, match="unloadable weights"):
+            load_pipeline(path)
+
+    def test_future_format_version_refused(self, model_config, tiny_vocab,
+                                           tiny_encoder, tiny_dataset, tmp_path):
+        model = _build("textcnn_s", model_config, "float64")
+        path = save_pipeline(
+            _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
+            tmp_path / "artifact")
+        manifest_path = os.path.join(path, MANIFEST_FILE)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = PIPELINE_FORMAT_VERSION + 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(PipelineError, match="format version"):
+            load_pipeline(path)
+
+    def test_unregistered_model_names_registration_hint(self, model_config, tiny_vocab,
+                                                        tiny_encoder, tiny_dataset,
+                                                        tmp_path):
+        model = _build("textcnn_s", model_config, "float64")
+        path = save_pipeline(
+            _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
+            tmp_path / "artifact")
+        manifest_path = os.path.join(path, MANIFEST_FILE)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["model"]["name"] = "not_registered_here"
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(PipelineError, match="register_model"):
+            load_pipeline(path)
+
+    def test_encoder_vocab_mismatch_rejected(self, model_config, tiny_vocab,
+                                             tiny_dataset):
+        from repro.encoders import FrozenPretrainedEncoder
+
+        model = _build("textcnn_s", model_config, "float64")
+        wrong = FrozenPretrainedEncoder(len(tiny_vocab) + 5, output_dim=16, seed=3)
+        with pytest.raises(PipelineError, match="vocabulary"):
+            Pipeline.from_training(model, tiny_vocab, wrong, max_length=16,
+                                   domain_names=tiny_dataset.domain_names)
+
+    def test_registry_name_resolution(self, model_config):
+        model = _build("unit_serve_custom", model_config, "float64")
+        assert registry_name(model) == "unit_serve_custom"
+
+        class Unregistered(UnitCustomDetector):
+            name = "never_registered"
+
+        with pytest.raises(KeyError, match="register_model"):
+            registry_name(Unregistered(model_config))
+
+
+class TestVersionedCheckpoints:
+    def test_header_written_and_readable(self, model_config, tmp_path):
+        model = _build("textcnn_s", model_config, "float32")
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        meta = read_checkpoint_metadata(path)
+        assert meta["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert meta["dtype"] == "float32"
+        state = model.state_dict()
+        assert meta["parameters"].keys() == state.keys()
+        for name, shape in meta["parameters"].items():
+            assert tuple(shape) == state[name].shape
+
+    def test_shape_mismatch_raises_checkpoint_error(self, model_config, tmp_path):
+        from repro.nn import load_checkpoint
+
+        source = _build("textcnn_s", model_config, "float64")
+        path = tmp_path / "model.npz"
+        save_checkpoint(source, path)
+        wrong = _build("textcnn_s", model_config.with_overrides(cnn_channels=4), "float64")
+        with pytest.raises(CheckpointError, match="shapes differ"):
+            load_checkpoint(wrong, path)
+
+    def test_legacy_headerless_checkpoint_still_loads(self, model_config,
+                                                      sample_batch, tmp_path):
+        from repro.nn import load_checkpoint
+
+        source = _build("textcnn_s", model_config, "float64")
+        source.eval()
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **source.state_dict())  # PR-1-era format: bare state dict
+        assert read_checkpoint_metadata(path) is None
+        target = _build("textcnn_s", model_config.with_overrides(seed=99), "float64")
+        load_checkpoint(target, path)
+        np.testing.assert_allclose(target.eval().predict_proba(sample_batch),
+                                   source.predict_proba(sample_batch), atol=1e-12)
+
+    def test_future_checkpoint_version_refused(self, model_config, tmp_path):
+        from repro.nn import load_checkpoint
+        from repro.nn.serialization import CHECKPOINT_META_KEY
+
+        model = _build("textcnn_s", model_config, "float64")
+        meta = {"format_version": CHECKPOINT_FORMAT_VERSION + 1, "parameters": {}}
+        np.savez(tmp_path / "future.npz",
+                 **{CHECKPOINT_META_KEY: np.array(json.dumps(meta))},
+                 **model.state_dict())
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(model, tmp_path / "future.npz")

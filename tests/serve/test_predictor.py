@@ -1,0 +1,272 @@
+"""Raw-text Predictor: training-parity encoding, batching and micro-batching.
+
+The load-bearing test here is the *parity* suite: the serving path must
+produce byte-identical token ids, masks, feature channels and probabilities
+to the training-time :class:`repro.data.DataLoader` for the same texts — in
+both engine dtypes.  That is the contract that makes an exported pipeline's
+predictions trustworthy stand-ins for the table numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, MultiDomainNewsDataset, NewsItem
+from repro.encoders import (
+    FrozenPretrainedEncoder,
+    emotion_feature_extractor,
+    style_feature_extractor,
+)
+from repro.models import build_model
+from repro.serve import Pipeline
+from repro.tensor import default_dtype
+
+DTYPES = ("float64", "float32")
+
+
+@pytest.fixture(scope="module")
+def probe_items(tiny_splits):
+    return tiny_splits.test.items[:8]
+
+
+def _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset, dtype,
+              name="textcnn_s"):
+    with default_dtype(dtype):
+        model = build_model(name, model_config)
+    return Pipeline.from_training(model, tiny_vocab, tiny_encoder, max_length=16,
+                                  domain_names=tiny_dataset.domain_names)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestTrainingParity:
+    """Serve-side encoding must equal the DataLoader encode bit-for-bit."""
+
+    def _loader(self, items, tiny_dataset, tiny_vocab, tiny_encoder, dtype):
+        dataset = MultiDomainNewsDataset(items, tiny_dataset.domain_names,
+                                         name="parity")
+        with default_dtype(dtype):
+            return DataLoader(dataset, tiny_vocab, max_length=16,
+                              batch_size=len(items), shuffle=False,
+                              feature_extractors={
+                                  "plm": tiny_encoder.as_feature_extractor(),
+                                  "style": style_feature_extractor,
+                                  "emotion": emotion_feature_extractor,
+                              })
+
+    def test_encode_batch_matches_dataloader(self, dtype, model_config, tiny_vocab,
+                                             tiny_encoder, tiny_dataset, probe_items):
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset, dtype)
+        predictor = pipeline.predictor()
+        loader = self._loader(probe_items, tiny_dataset, tiny_vocab, tiny_encoder, dtype)
+        expected = loader.full_batch()
+        batch = predictor.encode_batch([item.text for item in probe_items],
+                                       domains=[item.domain for item in probe_items])
+        np.testing.assert_array_equal(batch.token_ids, expected.token_ids)
+        assert batch.mask.dtype == expected.mask.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(batch.mask, expected.mask)
+        np.testing.assert_array_equal(batch.domains, expected.domains)
+        assert set(batch.features) == set(expected.features)
+        for name in expected.features:
+            assert batch.features[name].dtype == expected.features[name].dtype
+            np.testing.assert_array_equal(batch.features[name],
+                                          expected.features[name])
+
+    def test_probabilities_match_training_batch_path(self, dtype, model_config,
+                                                     tiny_vocab, tiny_encoder,
+                                                     tiny_dataset, probe_items):
+        """predict_proba over raw text == model.predict_proba over loader batch."""
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset, dtype)
+        loader = self._loader(probe_items, tiny_dataset, tiny_vocab, tiny_encoder, dtype)
+        with default_dtype(dtype):
+            expected = pipeline.model.predict_proba(loader.full_batch())
+        observed = pipeline.predictor().predict_proba(
+            [item.text for item in probe_items],
+            domains=[item.domain for item in probe_items])
+        np.testing.assert_array_equal(observed, expected)
+
+    def test_truncation_parity_for_overlong_text(self, dtype, model_config, tiny_vocab,
+                                                 tiny_encoder, tiny_dataset):
+        long_text = " ".join(f"token{i}" for i in range(50))
+        items = [NewsItem(text=long_text, label=0, domain=0,
+                          domain_name=tiny_dataset.domain_names[0])]
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset, dtype)
+        loader = self._loader(items, tiny_dataset, tiny_vocab, tiny_encoder, dtype)
+        batch = pipeline.predictor().encode_batch([long_text], domains=[0])
+        np.testing.assert_array_equal(batch.token_ids, loader.full_batch().token_ids)
+        assert batch.token_ids.shape[1] == 16
+        assert batch.mask.sum() == 16
+
+
+class TestPredict:
+    def test_predictions_are_structured(self, model_config, tiny_vocab, tiny_encoder,
+                                        tiny_dataset, probe_items):
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset,
+                             "float64")
+        predictions = pipeline.predictor().predict(
+            [item.text for item in probe_items],
+            domains=[item.domain for item in probe_items])
+        assert len(predictions) == len(probe_items)
+        for item, prediction in zip(probe_items, predictions):
+            assert prediction.label in (0, 1)
+            assert prediction.label_name == ("fake" if prediction.label else "real")
+            assert prediction.probabilities[1] == pytest.approx(
+                prediction.probability_fake)
+            assert sum(prediction.probabilities) == pytest.approx(1.0)
+            assert prediction.domain == item.domain_name
+            assert prediction.latency_ms > 0
+
+    def test_empty_input(self, model_config, tiny_vocab, tiny_encoder, tiny_dataset):
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset,
+                             "float64")
+        assert pipeline.predictor().predict([]) == []
+
+    def test_domain_resolution(self, model_config, tiny_vocab, tiny_encoder,
+                               tiny_dataset):
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset,
+                             "float64")
+        predictor = pipeline.predictor(default_domain=tiny_dataset.domain_names[2])
+        assert predictor.default_domain == 2
+        batch = predictor.encode_batch(["a b", "c d", "e f"],
+                                       domains=[None, "science", 1])
+        science = tiny_dataset.domain_names.index("science")
+        np.testing.assert_array_equal(batch.domains, [2, science, 1])
+        with pytest.raises(KeyError, match="unknown domain"):
+            predictor.encode_batch(["x"], domains=["galactic"])
+        with pytest.raises(KeyError, match="outside"):
+            predictor.encode_batch(["x"], domains=[99])
+        with pytest.raises(ValueError, match="domains"):
+            predictor.encode_batch(["x", "y"], domains=[0])
+
+    def test_domain_conditioning_reaches_the_model(self, model_config, tiny_vocab,
+                                                   tiny_encoder, tiny_dataset):
+        """A domain-gated model must produce different outputs per domain."""
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset,
+                             "float64", name="mdfend")
+        predictor = pipeline.predictor()
+        text = "dom0_topic1 common_word emo_neutral2"
+        p0 = predictor.predict_proba([text], domains=[0])
+        p5 = predictor.predict_proba([text], domains=[5])
+        assert not np.array_equal(p0, p5)
+
+    def test_bucketed_padding_shrinks_time_axis(self, model_config, tiny_vocab,
+                                                tiny_encoder, tiny_dataset):
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset,
+                             "float64")
+        bucketed = pipeline.predictor(bucket_size=4)
+        batch = bucketed.encode_batch(["a b c", "d e f g h"])
+        assert batch.token_ids.shape[1] == 8  # 5 tokens -> next multiple of 4
+        assert batch.features["plm"].shape[1] == 8
+        # never exceeds the training max_length, default path always pads to it
+        wide = bucketed.encode_batch([" ".join(["t"] * 40)])
+        assert wide.token_ids.shape[1] == 16
+        default = pipeline.predictor().encode_batch(["a b c"])
+        assert default.token_ids.shape[1] == 16
+
+    def test_predict_iter_streams_in_chunks(self, model_config, tiny_vocab,
+                                            tiny_encoder, tiny_dataset, probe_items):
+        pipeline = _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset,
+                             "float64")
+        predictor = pipeline.predictor()
+        texts = [item.text for item in probe_items]
+        domains = [item.domain for item in probe_items]
+        streamed = list(predictor.predict_iter(iter(texts), domains=iter(domains),
+                                               batch_size=3))
+        # Exact equality holds chunk-by-chunk (same batch shapes); against the
+        # one-shot full batch only up to BLAS batch-shape rounding (see the
+        # "bit-exactness" notes in PERFORMANCE.md).
+        chunked = [p for start in range(0, len(texts), 3)
+                   for p in predictor.predict(texts[start:start + 3],
+                                              domains=domains[start:start + 3])]
+        assert [p.probabilities for p in streamed] == [p.probabilities for p in chunked]
+        direct = predictor.predict(texts, domains=domains)
+        np.testing.assert_allclose([p.probabilities for p in streamed],
+                                   [p.probabilities for p in direct], atol=1e-12)
+        with pytest.raises(ValueError, match="shorter"):
+            list(predictor.predict_iter(texts, domains=domains[:2], batch_size=3))
+
+
+class TestMicroBatcher:
+    @pytest.fixture()
+    def predictor(self, model_config, tiny_vocab, tiny_encoder, tiny_dataset):
+        return _pipeline(model_config, tiny_vocab, tiny_encoder, tiny_dataset,
+                         "float64").predictor()
+
+    def test_flushes_when_full_and_on_drain(self, predictor, probe_items):
+        queue = predictor.microbatch(max_batch=3, max_latency_ms=1e9)
+        tickets = [queue.submit(item.text, item.domain) for item in probe_items]
+        assert sum(ticket.done for ticket in tickets) == 6  # two full batches of 3
+        assert len(queue) == 2
+        queue.drain()
+        assert all(ticket.done for ticket in tickets)
+        assert queue.batches_flushed == 3
+        assert queue.items_flushed == len(probe_items)
+        assert queue.flush_reasons == {"full": 2, "latency": 0, "drain": 1}
+
+    def test_latency_deadline_flushes_on_next_submit(self, predictor, probe_items):
+        import time
+
+        queue = predictor.microbatch(max_batch=100, max_latency_ms=5.0)
+        first = queue.submit(probe_items[0].text)
+        time.sleep(0.02)
+        queue.submit(probe_items[1].text)
+        assert first.done  # overdue batch flushed before the new ticket queued
+        assert queue.flush_reasons["latency"] == 1
+        assert len(queue) == 1
+
+    def test_results_match_direct_predict(self, predictor, probe_items):
+        texts = [item.text for item in probe_items]
+        domains = [item.domain for item in probe_items]
+        with predictor.microbatch(max_batch=len(texts), max_latency_ms=1e9) as queue:
+            tickets = [queue.submit(text, domain)
+                       for text, domain in zip(texts, domains)]
+        direct = predictor.predict(texts, domains=domains)
+        for ticket, expected in zip(tickets, direct):
+            assert ticket.result.probabilities == expected.probabilities
+            assert ticket.result.domain == expected.domain
+            assert ticket.result.latency_ms > 0
+
+    def test_unflushed_ticket_raises(self, predictor):
+        queue = predictor.microbatch(max_batch=10, max_latency_ms=1e9)
+        ticket = queue.submit("pending text")
+        assert not ticket.done
+        with pytest.raises(RuntimeError, match="still queued"):
+            _ = ticket.result
+
+    def test_invalid_parameters_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.microbatch(max_batch=0)
+        with pytest.raises(ValueError):
+            predictor.microbatch(max_latency_ms=-1.0)
+        with pytest.raises(ValueError):
+            type(predictor)(predictor.pipeline, bucket_size=0)
+
+    def test_bad_domain_fails_in_its_own_submit(self, predictor, probe_items):
+        """A bad request must not poison the batch it would flush with."""
+        queue = predictor.microbatch(max_batch=3, max_latency_ms=1e9)
+        good = queue.submit(probe_items[0].text, probe_items[0].domain)
+        with pytest.raises(KeyError, match="unknown domain"):
+            queue.submit("bad request", "galactic")
+        assert len(queue) == 1  # the good ticket is still queued
+        queue.drain()
+        assert good.done
+
+    def test_flush_failure_restores_pending_tickets(self, predictor, probe_items):
+        queue = predictor.microbatch(max_batch=10, max_latency_ms=1e9)
+        tickets = [queue.submit(item.text, item.domain) for item in probe_items[:3]]
+        original_predict = predictor.predict
+        try:
+            def boom(*args, **kwargs):
+                raise RuntimeError("transient engine failure")
+            predictor.predict = boom
+            with pytest.raises(RuntimeError, match="transient"):
+                queue.drain()
+        finally:
+            predictor.predict = original_predict
+        assert len(queue) == 3  # nothing lost
+        queue.drain()
+        assert all(ticket.done for ticket in tickets)
+
+    def test_default_domain_none_means_domain_zero(self, predictor):
+        fallback = type(predictor)(predictor.pipeline, default_domain=None)
+        assert fallback.default_domain == 0
+        batch = fallback.encode_batch(["a b"])
+        assert batch.domains.tolist() == [0]
