@@ -66,9 +66,15 @@ def record_bench(suite: str, entries: list[dict], merge: bool = True) -> str:
     payload["suite"] = suite
     payload["entries"] = [existing[name] for name in sorted(existing, key=str)]
     payload["environment"] = environment
-    with open(path, "w", encoding="utf-8") as handle:
+    # Atomic replace so an interrupted run never leaves a half-written record
+    # (kept dependency-free: the benchmark helpers must import without repro).
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    with open(temp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
     return path
 
 

@@ -19,6 +19,9 @@ The package is organised as a stack:
 * :mod:`repro.serve` — the consumer-facing inference layer: bundled pipeline
   artifacts (weights + vocab + tokenizer/encoder specs + config + dtype), a
   raw-text :class:`~repro.serve.Predictor` and dynamic micro-batching.
+* :mod:`repro.reliability` — deterministic fault injection, seeded retries
+  and atomic checksummed I/O backing crash-resumable training and
+  graceful-degradation serving.
 """
 
 from repro._version import __version__

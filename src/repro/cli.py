@@ -167,18 +167,28 @@ def cmd_export(args) -> int:
 
 
 def cmd_predict(args) -> int:
-    from repro.serve import load_pipeline
+    from repro.serve import PipelineError, load_pipeline
 
     texts = list(args.text or [])
     if args.input == "-":
         texts.extend(line.strip() for line in sys.stdin if line.strip())
     elif args.input:
-        with open(args.input, "r", encoding="utf-8") as handle:
-            texts.extend(line.strip() for line in handle if line.strip())
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                texts.extend(line.strip() for line in handle if line.strip())
+        except (OSError, UnicodeDecodeError) as error:
+            print(f"predict: cannot read --input file: {error}", file=sys.stderr)
+            return 2
     if not texts:
         print("predict: no texts given (use --text and/or --input)", file=sys.stderr)
         return 2
-    pipeline = load_pipeline(args.pipeline)
+    try:
+        pipeline = load_pipeline(args.pipeline)
+    except PipelineError as error:
+        # One readable line, not a traceback: missing artifacts, corrupt or
+        # checksum-failing files and format mismatches all land here.
+        print(f"predict: {' '.join(str(error).split())}", file=sys.stderr)
+        return 2
     domain = int(args.domain) if args.domain and args.domain.isdigit() else args.domain
     try:
         predictor = pipeline.predictor(default_domain=domain)

@@ -17,6 +17,7 @@ Both teachers are frozen during student training.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,11 +31,27 @@ from repro.core.distill import (
     teacher_forward,
 )
 from repro.core.momentum import ConstantWeightScheduler, MomentumWeightScheduler
+from repro.core.snapshot import (
+    load_snapshot,
+    module_rng_states,
+    pack_adam_state,
+    pack_history,
+    pack_model_state,
+    pack_weight_scheduler,
+    restore_module_rng_states,
+    save_snapshot,
+    unpack_adam_state,
+    unpack_history,
+    unpack_model_state,
+    unpack_weight_scheduler,
+)
 from repro.core.trainer import Trainer, TrainerConfig, evaluate_model
 from repro.data.loader import DataLoader
 from repro.metrics import EvaluationReport
 from repro.models.base import FakeNewsDetector
 from repro.nn import Adam, CrossEntropyLoss, GradientClipper
+from repro.reliability.faults import fault_point
+from repro.utils import get_rng_state, set_rng_state
 
 
 @dataclass
@@ -60,6 +77,11 @@ class DTDBDConfig:
     #: both teacher forwards on every step.  See
     #: :class:`repro.core.distill.TeacherCache` for the invalidation contract.
     cache_teacher_outputs: bool = True
+    #: When set, :meth:`DTDBDTrainer.fit` snapshots here after every epoch
+    #: (and, with ``snapshot_every``, mid-epoch) so a killed run can resume.
+    snapshot_path: str | None = None
+    #: Mid-epoch snapshot cadence in batches (0 = epoch boundaries only).
+    snapshot_every: int = 0
     verbose: bool = False
 
 
@@ -107,6 +129,15 @@ class DTDBDTrainer:
         self.weight_history: list[tuple[float, float]] = [self.scheduler.weights()]
         #: per-loader frozen-teacher output caches, keyed by loader identity
         self._teacher_caches: dict[int, tuple[TeacherCache | None, TeacherCache | None]] = {}
+        # Resume cursor, mirroring repro.core.trainer.Trainer (the teacher
+        # caches are deliberately *not* snapshotted: the teachers are frozen,
+        # so a resumed run rebuilds them bit-identically from the loader).
+        self._epoch = 0
+        self._batch_in_epoch = 0
+        self._epoch_losses: list[float] = []
+        self._epoch_order: np.ndarray | None = None
+        self._train_loader: DataLoader | None = None
+        self._pending_loader_state: dict | None = None
 
     # ------------------------------------------------------------------ #
     # Frozen-teacher output caching                                        #
@@ -185,20 +216,38 @@ class DTDBDTrainer:
         return loss, logits, components
 
     def train_epoch(self, loader: DataLoader) -> float:
+        """One distillation pass; resumes a pending mid-epoch cursor if set."""
         self.student.train()
+        self._train_loader = loader
+        if self._pending_loader_state is not None:
+            loader.set_rng_state(self._pending_loader_state)
+            self._pending_loader_state = None
         unbiased_cache, clean_cache = self._caches_for(loader)
-        losses = []
-        for batch in loader:
+        if self._epoch_order is None:
+            self._epoch_order = loader.epoch_order()
+            self._batch_in_epoch = 0
+            self._epoch_losses = []
+        for batch in loader.iter_from(self._epoch_order, self._batch_in_epoch):
+            fault_point("trainer.step", epoch=self._epoch, batch=self._batch_in_epoch)
             self.optimizer.zero_grad()
             loss, _, _ = self._batch_loss(batch, unbiased_cache, clean_cache)
             loss.backward()
             self.clipper.clip(self.optimizer.parameters)
             self.optimizer.step()
-            losses.append(loss.item())
+            self._epoch_losses.append(loss.item())
+            self._batch_in_epoch += 1
+            if (self.config.snapshot_path and self.config.snapshot_every
+                    and self._batch_in_epoch % self.config.snapshot_every == 0):
+                self.snapshot(self.config.snapshot_path)
+        losses = self._epoch_losses
+        self._epoch_order = None
+        self._batch_in_epoch = 0
+        self._epoch_losses = []
         return float(np.mean(losses)) if losses else 0.0
 
     def fit(self, train_loader: DataLoader, val_loader: DataLoader | None = None) -> TrainingHistory:
-        for epoch in range(self.config.epochs):
+        while self._epoch < self.config.epochs:
+            epoch = self._epoch
             train_loss = self.train_epoch(train_loader)
             record = EpochRecord(epoch=epoch, train_loss=train_loss)
             if val_loader is not None:
@@ -212,11 +261,86 @@ class DTDBDTrainer:
             record.extras = {"weight_add": self.scheduler.weight_add,
                              "weight_dkd": self.scheduler.weight_dkd}
             self.history.append(record)
+            self._epoch += 1
             if self.config.verbose:
                 print(f"[DTDBD] epoch {epoch}: loss={train_loss:.4f} "
                       f"F1={record.val_f1} total={record.val_total_bias} "
                       f"w_ADD={self.scheduler.weight_add:.2f}")
+            if self.config.snapshot_path:
+                self.snapshot(self.config.snapshot_path)
         return self.history
+
+    # ------------------------------------------------------------------ #
+    # Crash-resumable state                                                #
+    # ------------------------------------------------------------------ #
+    def snapshot(self, path: str | os.PathLike) -> None:
+        """Atomically capture the distillation run (see ``Trainer.snapshot``).
+
+        On top of the generic trainer state this records the weight
+        scheduler's momentum state and ``weight_history``, so the dynamic
+        adjustment continues exactly where it stopped.
+        """
+        meta = {
+            "trainer": type(self).__name__,
+            "model": self.student.name,
+            "cursor": {
+                "epoch": self._epoch,
+                "batch": self._batch_in_epoch,
+                "epoch_losses": self._epoch_losses,
+                "mid_epoch": self._epoch_order is not None,
+            },
+            "history": pack_history(self.history),
+            "rng": {
+                "fallback": get_rng_state(),
+                "loader": (self._train_loader.rng_state()
+                           if self._train_loader is not None else None),
+                "modules": module_rng_states(self.student),
+            },
+            "scheduler": pack_weight_scheduler(self.scheduler),
+            "weight_history": [list(weights) for weights in self.weight_history],
+        }
+        arrays: dict[str, np.ndarray] = {}
+        pack_model_state(self.student, arrays)
+        pack_adam_state(self.optimizer, meta, arrays)
+        if self._epoch_order is not None:
+            arrays["epoch_order"] = self._epoch_order
+        save_snapshot(path, meta, arrays)
+
+    def resume(self, path: str | os.PathLike,
+               train_loader: DataLoader | None = None) -> "DTDBDTrainer":
+        """Restore a run captured by :meth:`snapshot`; returns ``self``.
+
+        Rebuild the trainer exactly as the crashed run did (same student
+        construction, same *frozen* teachers, same config), then call this
+        before :meth:`fit`.  Teacher caches are rebuilt on first use — the
+        teachers are frozen, so the rebuilt outputs are bit-identical.
+        """
+        meta, arrays = load_snapshot(path)
+        unpack_model_state(self.student, arrays)
+        unpack_adam_state(self.optimizer, meta, arrays)
+        self.history = unpack_history(meta["history"])
+        cursor = meta["cursor"]
+        self._epoch = int(cursor["epoch"])
+        if cursor["mid_epoch"]:
+            self._epoch_order = arrays["epoch_order"]
+            self._batch_in_epoch = int(cursor["batch"])
+            self._epoch_losses = [float(x) for x in cursor["epoch_losses"]]
+        else:
+            self._epoch_order = None
+            self._batch_in_epoch = 0
+            self._epoch_losses = []
+        rng = meta["rng"]
+        set_rng_state(rng["fallback"])
+        restore_module_rng_states(self.student, rng["modules"])
+        if rng["loader"] is not None:
+            if train_loader is not None:
+                train_loader.set_rng_state(rng["loader"])
+                self._pending_loader_state = None
+            else:
+                self._pending_loader_state = rng["loader"]
+        unpack_weight_scheduler(self.scheduler, meta["scheduler"])
+        self.weight_history = [tuple(weights) for weights in meta["weight_history"]]
+        return self
 
     def export_pipeline(self, path, *, vocab, encoder, max_length: int,
                         tokenizer=None, domain_names=None,

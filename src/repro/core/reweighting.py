@@ -51,17 +51,13 @@ class DomainReweightedTrainer(Trainer):
             train_loader.labels, train_loader.domains,
             num_domains=train_loader.num_domains, smoothing=smoothing)
 
-    def train_epoch(self, loader: DataLoader) -> float:
-        self.model.train()
-        losses: list[float] = []
-        for batch in loader:
-            self.optimizer.zero_grad()
-            loss = self._weighted_loss(batch)
-            loss.backward()
-            self.clipper.clip(self.optimizer.parameters)
-            self.optimizer.step()
-            losses.append(loss.item())
-        return float(np.mean(losses)) if losses else 0.0
+    def _training_step(self, batch: Batch) -> float:
+        self.optimizer.zero_grad()
+        loss = self._weighted_loss(batch)
+        loss.backward()
+        self.clipper.clip(self.optimizer.parameters)
+        self.optimizer.step()
+        return loss.item()
 
     def _weighted_loss(self, batch: Batch):
         logits = self.model(batch)

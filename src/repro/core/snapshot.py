@@ -1,0 +1,260 @@
+"""Training snapshots: the on-disk format behind crash-resumable training.
+
+A snapshot is a single atomic ``.npz`` archive capturing *everything* a
+trainer needs to continue a run bit-identically after a crash:
+
+* the model's full state dict (including frozen parameters);
+* the Adam state (``_step_count`` plus the first/second-moment arrays,
+  position-aligned with ``model.parameters()``);
+* every RNG stream the run consumes — the experiment-wide fallback stream,
+  the train loader's shuffle stream, and each module-local dropout generator
+  (models thread ``seeded_rng(config.seed)`` into their ``Dropout`` layers;
+  the *same* generator object is typically shared by several layers, so
+  streams are deduplicated by object identity in first-seen
+  ``named_modules`` order);
+* the cursor (epoch, batch-in-epoch, per-batch losses so far) and the
+  epoch's materialised index permutation — the permutation cannot be
+  re-derived after a crash because the shuffle stream has already advanced
+  past it;
+* trainer-specific extras (early-stopping state, the DTDBD weight scheduler,
+  ``weight_history``) via the ``extra`` metadata dict.
+
+Like checkpoints, snapshots are written via
+:func:`repro.reliability.atomic_writer` and carry per-array SHA-256
+checksums in their JSON header; a corrupted or truncated snapshot is refused
+with a readable :class:`SnapshotError` instead of resuming from damaged
+state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from dataclasses import asdict
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.callbacks import EarlyStopping, EpochRecord, TrainingHistory
+from repro.core.momentum import MomentumWeightScheduler, WeightSnapshot
+from repro.nn.module import Module
+from repro.reliability.durable import atomic_writer, sha256_bytes
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, default_read_policy
+
+#: Reserved archive key holding the JSON header.
+SNAPSHOT_META_KEY = "__repro_snapshot__"
+
+#: Bump when the snapshot layout changes incompatibly.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """A training snapshot cannot be written or restored."""
+
+
+# --------------------------------------------------------------------------- #
+# Archive I/O                                                                  #
+# --------------------------------------------------------------------------- #
+def save_snapshot(path: str | os.PathLike, meta: dict,
+                  arrays: dict[str, np.ndarray]) -> None:
+    """Atomically write a snapshot archive with checksummed arrays.
+
+    ``meta`` must be JSON-serialisable; the format version, package version
+    and per-array checksums are added here.
+    """
+    header = dict(meta)
+    header["format_version"] = SNAPSHOT_FORMAT_VERSION
+    header["repro_version"] = __version__
+    header["checksums"] = {
+        name: sha256_bytes(np.ascontiguousarray(array).tobytes())
+        for name, array in arrays.items()}
+    encoded = np.array(json.dumps(header))
+    with atomic_writer(path, "wb") as handle:
+        np.savez(handle, **{SNAPSHOT_META_KEY: encoded}, **arrays)
+
+
+def load_snapshot(path: str | os.PathLike,
+                  retry: RetryPolicy | None = None) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read and verify a snapshot; returns ``(meta, arrays)``.
+
+    Refuses archives without a header, from a newer format version, or whose
+    per-array checksums do not match — all as :class:`SnapshotError` with the
+    path named.  Transient read errors are retried.
+    """
+    policy = retry if retry is not None else default_read_policy()
+    entries = policy.call(_read_snapshot_archive, path)
+    if SNAPSHOT_META_KEY not in entries:
+        raise SnapshotError(
+            f"'{os.fspath(path)}' is not a training snapshot (missing header); "
+            "was it written by save_checkpoint instead of Trainer.snapshot?")
+    try:
+        meta = json.loads(str(entries.pop(SNAPSHOT_META_KEY)[()]))
+    except ValueError as error:
+        raise SnapshotError(
+            f"snapshot '{os.fspath(path)}' has an unreadable header ({error}); "
+            "the file is corrupt") from error
+    version = meta.get("format_version")
+    if not isinstance(version, int) or version > SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot '{os.fspath(path)}' has format version {version!r}, but "
+            f"this build only understands versions <= {SNAPSHOT_FORMAT_VERSION}")
+    damaged = sorted(
+        name for name, digest in meta.get("checksums", {}).items()
+        if name in entries
+        and sha256_bytes(np.ascontiguousarray(entries[name]).tobytes()) != digest)
+    if damaged:
+        raise SnapshotError(
+            f"snapshot '{os.fspath(path)}' failed checksum verification for "
+            f"{len(damaged)} array(s): {damaged}; the file is corrupt — resume "
+            "from an earlier snapshot")
+    return meta, entries
+
+
+def _read_snapshot_archive(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    fault_point("io.read", path=os.fspath(path), kind="snapshot")
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise SnapshotError(f"no snapshot at '{os.fspath(path)}'") from None
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError) as error:
+        raise SnapshotError(
+            f"snapshot '{os.fspath(path)}' is corrupt or truncated and cannot "
+            f"be read ({type(error).__name__}: {error}); resume from an "
+            "earlier snapshot") from error
+
+
+# --------------------------------------------------------------------------- #
+# RNG-stream capture                                                           #
+# --------------------------------------------------------------------------- #
+def module_rng_states(module: Module) -> list[dict]:
+    """Bit-generator states of every module-local generator, deduplicated.
+
+    Models pass one ``seeded_rng(config.seed)`` generator into their
+    ``Dropout`` layers, so the same object shows up under many modules; each
+    distinct generator is captured once, in first-seen ``named_modules``
+    order.  Restoration (:func:`restore_module_rng_states`) walks the same
+    order, so the pairing is stable as long as the module tree is rebuilt
+    identically — the same contract ``load_state_dict`` already relies on.
+    """
+    states: list[dict] = []
+    seen: set[int] = set()
+    for _, submodule in module.named_modules():
+        rng = getattr(submodule, "_rng", None)
+        if isinstance(rng, np.random.Generator) and id(rng) not in seen:
+            seen.add(id(rng))
+            states.append(rng.bit_generator.state)
+    return states
+
+
+def restore_module_rng_states(module: Module, states: list[dict]) -> None:
+    """Restore generator states captured by :func:`module_rng_states`."""
+    generators: list[np.random.Generator] = []
+    seen: set[int] = set()
+    for _, submodule in module.named_modules():
+        rng = getattr(submodule, "_rng", None)
+        if isinstance(rng, np.random.Generator) and id(rng) not in seen:
+            seen.add(id(rng))
+            generators.append(rng)
+    if len(generators) != len(states):
+        raise SnapshotError(
+            f"snapshot captured {len(states)} module RNG stream(s) but the model "
+            f"has {len(generators)}; was it rebuilt with a different "
+            "architecture or dropout configuration?")
+    for rng, state in zip(generators, states):
+        rng.bit_generator.state = state
+
+
+# --------------------------------------------------------------------------- #
+# Shared capture/restore pieces used by Trainer and DTDBDTrainer               #
+# --------------------------------------------------------------------------- #
+def pack_model_state(model: Module, arrays: dict[str, np.ndarray]) -> None:
+    for name, array in model.state_dict().items():
+        arrays[f"model.{name}"] = array
+
+
+def unpack_model_state(model: Module, arrays: dict[str, np.ndarray]) -> None:
+    state = {name[len("model."):]: array
+             for name, array in arrays.items() if name.startswith("model.")}
+    model.load_state_dict(state)
+
+
+def pack_adam_state(optimizer, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+    """Record Adam moments (position-aligned with ``optimizer.parameters``)."""
+    meta["optimizer"] = {"step_count": optimizer._step_count,
+                         "num_parameters": len(optimizer.parameters)}
+    for index, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+        arrays[f"adam.m.{index}"] = m
+        arrays[f"adam.v.{index}"] = v
+
+
+def unpack_adam_state(optimizer, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+    recorded = meta.get("optimizer", {})
+    if recorded.get("num_parameters") != len(optimizer.parameters):
+        raise SnapshotError(
+            f"snapshot optimizer tracked {recorded.get('num_parameters')} "
+            f"parameter(s) but this trainer has {len(optimizer.parameters)}; "
+            "the model architectures differ")
+    optimizer._step_count = int(recorded["step_count"])
+    for index in range(len(optimizer.parameters)):
+        # Copy *into* the existing moment buffers: Adam updates them in place.
+        np.copyto(optimizer._m[index], arrays[f"adam.m.{index}"])
+        np.copyto(optimizer._v[index], arrays[f"adam.v.{index}"])
+
+
+def pack_history(history: TrainingHistory) -> list[dict]:
+    return [asdict(record) for record in history.records]
+
+
+def unpack_history(records: list[dict]) -> TrainingHistory:
+    return TrainingHistory(records=[EpochRecord(**record) for record in records])
+
+
+def pack_early_stopping(stopper: EarlyStopping | None) -> dict | None:
+    if stopper is None:
+        return None
+    return {"patience": stopper.patience, "minimum_delta": stopper.minimum_delta,
+            "maximize": stopper.maximize, "best": stopper.best,
+            "stale_epochs": stopper.stale_epochs}
+
+
+def unpack_early_stopping(state: dict | None) -> EarlyStopping | None:
+    if state is None:
+        return None
+    stopper = EarlyStopping(patience=state["patience"],
+                            minimum_delta=state["minimum_delta"],
+                            maximize=state["maximize"])
+    stopper.best = state["best"]
+    stopper.stale_epochs = state["stale_epochs"]
+    return stopper
+
+
+def pack_weight_scheduler(scheduler) -> dict:
+    """Serialise a DTDBD weight scheduler (momentum DAA or constant ablation)."""
+    if isinstance(scheduler, MomentumWeightScheduler):
+        return {"kind": "momentum",
+                "weight_add": scheduler._weight_add,
+                "previous_f1": scheduler._previous_f1,
+                "previous_bias": scheduler._previous_bias,
+                "history": [asdict(snapshot) for snapshot in scheduler.history]}
+    return {"kind": "constant", "weight_add": scheduler.weight_add}
+
+
+def unpack_weight_scheduler(scheduler, state: dict) -> None:
+    """Restore scheduler state in place (the trainer constructor built it)."""
+    if state["kind"] == "momentum":
+        if not isinstance(scheduler, MomentumWeightScheduler):
+            raise SnapshotError(
+                "snapshot used the momentum weight scheduler but this trainer "
+                "was built with use_dynamic_adjustment=False")
+        scheduler._weight_add = float(state["weight_add"])
+        scheduler._previous_f1 = state["previous_f1"]
+        scheduler._previous_bias = state["previous_bias"]
+        scheduler.history[:] = [WeightSnapshot(**record)
+                                for record in state["history"]]
+    elif isinstance(scheduler, MomentumWeightScheduler):
+        raise SnapshotError(
+            "snapshot used the constant weight scheduler but this trainer "
+            "was built with use_dynamic_adjustment=True")

@@ -7,16 +7,33 @@ domain-bias metrics, optional early stopping.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.callbacks import EarlyStopping, EpochRecord, TrainingHistory
+from repro.core.snapshot import (
+    load_snapshot,
+    module_rng_states,
+    pack_adam_state,
+    pack_early_stopping,
+    pack_history,
+    pack_model_state,
+    restore_module_rng_states,
+    save_snapshot,
+    unpack_adam_state,
+    unpack_early_stopping,
+    unpack_history,
+    unpack_model_state,
+)
 from repro.data.loader import DataLoader
 from repro.metrics import EvaluationReport, evaluate_predictions
 from repro.models.base import FakeNewsDetector
 from repro.nn import Adam, GradientClipper
+from repro.reliability.faults import fault_point
 from repro.tensor import no_grad
+from repro.utils import get_rng_state, set_rng_state
 
 
 @dataclass
@@ -28,6 +45,11 @@ class TrainerConfig:
     weight_decay: float = 0.0
     max_grad_norm: float = 5.0
     early_stopping_patience: int | None = None
+    #: When set, :meth:`Trainer.fit` snapshots here after every epoch (and,
+    #: with ``snapshot_every``, mid-epoch) so a killed run can resume.
+    snapshot_path: str | None = None
+    #: Mid-epoch snapshot cadence in batches (0 = epoch boundaries only).
+    snapshot_every: int = 0
     verbose: bool = False
 
 
@@ -85,43 +107,181 @@ class Trainer:
                               weight_decay=self.config.weight_decay)
         self.clipper = GradientClipper(self.config.max_grad_norm)
         self.history = TrainingHistory()
+        self._stopper = (EarlyStopping(patience=self.config.early_stopping_patience)
+                         if self.config.early_stopping_patience else None)
+        self._stopped = False
+        # Resume cursor: epochs completed so far, and — while an epoch is in
+        # flight — the materialised index permutation plus position within it.
+        self._epoch = 0
+        self._batch_in_epoch = 0
+        self._epoch_losses: list[float] = []
+        self._epoch_order: np.ndarray | None = None
+        self._train_loader: DataLoader | None = None
+        self._pending_loader_state: dict | None = None
 
     # ------------------------------------------------------------------ #
+    def _training_step(self, batch) -> float:
+        """One optimiser update; returns the batch loss (override point)."""
+        self.optimizer.zero_grad()
+        loss, _ = self.model.compute_loss(batch)
+        loss.backward()
+        self.clipper.clip(self.optimizer.parameters)
+        self.optimizer.step()
+        return loss.item()
+
     def train_epoch(self, loader: DataLoader) -> float:
-        """One optimisation pass over ``loader``; returns the mean batch loss."""
+        """One optimisation pass over ``loader``; returns the mean batch loss.
+
+        When a mid-epoch resume cursor is pending (after :meth:`resume` from
+        a mid-epoch snapshot), continues that epoch from the stored batch
+        instead of starting a fresh pass; batch shapes and RNG consumption
+        match the uninterrupted run exactly, so the loss trajectory is
+        bit-identical.
+        """
         self.model.train()
-        losses: list[float] = []
-        for batch in loader:
-            self.optimizer.zero_grad()
-            loss, _ = self.model.compute_loss(batch)
-            loss.backward()
-            self.clipper.clip(self.optimizer.parameters)
-            self.optimizer.step()
-            losses.append(loss.item())
+        self._train_loader = loader
+        self._apply_pending_loader_state(loader)
+        if self._epoch_order is None:
+            self._epoch_order = loader.epoch_order()
+            self._batch_in_epoch = 0
+            self._epoch_losses = []
+        for batch in loader.iter_from(self._epoch_order, self._batch_in_epoch):
+            fault_point("trainer.step", epoch=self._epoch, batch=self._batch_in_epoch)
+            self._epoch_losses.append(self._training_step(batch))
+            self._batch_in_epoch += 1
+            if (self.config.snapshot_path and self.config.snapshot_every
+                    and self._batch_in_epoch % self.config.snapshot_every == 0):
+                self.snapshot(self.config.snapshot_path)
+        losses = self._epoch_losses
+        self._epoch_order = None
+        self._batch_in_epoch = 0
+        self._epoch_losses = []
         return float(np.mean(losses)) if losses else 0.0
 
+    def _validate(self, record: EpochRecord, val_loader: DataLoader | None) -> None:
+        if val_loader is None:
+            return
+        report = evaluate_model(self.model, val_loader)
+        record.val_f1 = report.overall_f1
+        record.val_total_bias = report.total
+        record.val_fned = report.fned
+        record.val_fped = report.fped
+
     def fit(self, train_loader: DataLoader, val_loader: DataLoader | None = None) -> TrainingHistory:
-        """Train for ``config.epochs`` epochs, validating after each epoch."""
-        stopper = None
-        if self.config.early_stopping_patience:
-            stopper = EarlyStopping(patience=self.config.early_stopping_patience)
-        for epoch in range(self.config.epochs):
+        """Train until ``config.epochs`` epochs are complete, validating each.
+
+        Counts from the trainer's epoch cursor, so a trainer restored with
+        :meth:`resume` continues where the crashed run stopped rather than
+        starting over.
+        """
+        while self._epoch < self.config.epochs and not self._stopped:
+            epoch = self._epoch
             train_loss = self.train_epoch(train_loader)
             record = EpochRecord(epoch=epoch, train_loss=train_loss)
-            if val_loader is not None:
-                report = evaluate_model(self.model, val_loader)
-                record.val_f1 = report.overall_f1
-                record.val_total_bias = report.total
-                record.val_fned = report.fned
-                record.val_fped = report.fped
+            self._validate(record, val_loader)
             self.history.append(record)
+            self._epoch += 1
             if self.config.verbose:
                 bias = f", bias={record.val_total_bias:.3f}" if record.val_total_bias is not None else ""
                 f1 = f", F1={record.val_f1:.3f}" if record.val_f1 is not None else ""
                 print(f"[{self.model.name}] epoch {epoch}: loss={train_loss:.4f}{f1}{bias}")
-            if stopper is not None and record.val_f1 is not None and stopper.update(record.val_f1):
-                break
+            if (self._stopper is not None and record.val_f1 is not None
+                    and self._stopper.update(record.val_f1)):
+                self._stopped = True
+            if self.config.snapshot_path:
+                self.snapshot(self.config.snapshot_path)
         return self.history
+
+    # ------------------------------------------------------------------ #
+    # Crash-resumable state                                                #
+    # ------------------------------------------------------------------ #
+    def _snapshot_extra(self) -> dict:
+        """Trainer-subclass metadata merged into the snapshot header."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Inverse of :meth:`_snapshot_extra`."""
+
+    def _snapshot_kind(self) -> str:
+        return type(self).__name__
+
+    def snapshot(self, path: str | os.PathLike) -> None:
+        """Atomically capture everything needed to continue this run.
+
+        Model parameters, Adam moments, training history, early-stopping
+        state, the epoch/batch cursor (including the in-flight epoch's index
+        permutation) and every RNG stream the run consumes (experiment
+        fallback, loader shuffle, module-local dropout generators).
+        """
+        meta = {
+            "trainer": self._snapshot_kind(),
+            "model": self.model.name,
+            "cursor": {
+                "epoch": self._epoch,
+                "batch": self._batch_in_epoch,
+                "epoch_losses": self._epoch_losses,
+                "mid_epoch": self._epoch_order is not None,
+                "stopped": self._stopped,
+            },
+            "history": pack_history(self.history),
+            "early_stopping": pack_early_stopping(self._stopper),
+            "rng": {
+                "fallback": get_rng_state(),
+                "loader": (self._train_loader.rng_state()
+                           if self._train_loader is not None else None),
+                "modules": module_rng_states(self.model),
+            },
+            "extra": self._snapshot_extra(),
+        }
+        arrays: dict[str, np.ndarray] = {}
+        pack_model_state(self.model, arrays)
+        pack_adam_state(self.optimizer, meta, arrays)
+        if self._epoch_order is not None:
+            arrays["epoch_order"] = self._epoch_order
+        save_snapshot(path, meta, arrays)
+
+    def resume(self, path: str | os.PathLike,
+               train_loader: DataLoader | None = None) -> "Trainer":
+        """Restore a run captured by :meth:`snapshot`; returns ``self``.
+
+        Build the trainer exactly as the crashed run did (same model
+        construction, same config), then call this before :meth:`fit`.  Pass
+        ``train_loader`` to restore its shuffle stream immediately; without
+        it, the stream is restored on the next :meth:`fit`/:meth:`train_epoch`
+        call.
+        """
+        meta, arrays = load_snapshot(path)
+        unpack_model_state(self.model, arrays)
+        unpack_adam_state(self.optimizer, meta, arrays)
+        self.history = unpack_history(meta["history"])
+        self._stopper = unpack_early_stopping(meta["early_stopping"])
+        cursor = meta["cursor"]
+        self._epoch = int(cursor["epoch"])
+        self._stopped = bool(cursor.get("stopped", False))
+        if cursor["mid_epoch"]:
+            self._epoch_order = arrays["epoch_order"]
+            self._batch_in_epoch = int(cursor["batch"])
+            self._epoch_losses = [float(x) for x in cursor["epoch_losses"]]
+        else:
+            self._epoch_order = None
+            self._batch_in_epoch = 0
+            self._epoch_losses = []
+        rng = meta["rng"]
+        set_rng_state(rng["fallback"])
+        restore_module_rng_states(self.model, rng["modules"])
+        if rng["loader"] is not None:
+            if train_loader is not None:
+                train_loader.set_rng_state(rng["loader"])
+                self._pending_loader_state = None
+            else:
+                self._pending_loader_state = rng["loader"]
+        self._restore_extra(meta.get("extra", {}))
+        return self
+
+    def _apply_pending_loader_state(self, loader: DataLoader) -> None:
+        if self._pending_loader_state is not None:
+            loader.set_rng_state(self._pending_loader_state)
+            self._pending_loader_state = None
 
     def export_pipeline(self, path, *, vocab, encoder, max_length: int,
                         tokenizer=None, domain_names=None,

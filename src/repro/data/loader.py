@@ -17,7 +17,6 @@ from repro.data.dataset import MultiDomainNewsDataset, NewsItem
 from repro.data.tokenizer import WhitespaceTokenizer
 from repro.data.vocab import Vocabulary
 from repro.tensor import get_default_dtype
-from repro.utils import batched_indices
 
 #: A feature extractor receives the news items plus the encoded token ids and
 #: mask, and returns one array with the batch dimension first.
@@ -142,10 +141,48 @@ class DataLoader:
             self._seed = seed
         self._rng = np.random.default_rng(self._seed)
 
+    def rng_state(self) -> dict:
+        """JSON-serialisable state of the shuffle stream (for training snapshots)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore the shuffle stream to a state from :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
+    def epoch_order(self) -> np.ndarray:
+        """Materialise one epoch's index permutation, advancing the shuffle stream.
+
+        Consumes exactly the randomness :func:`repro.utils.batched_indices`
+        would (one ``rng.shuffle`` over ``arange(n)``), so iterating via
+        ``iter_from(epoch_order())`` is bit-identical to ``iter(loader)``.
+        Resumable trainers snapshot the returned array: after a mid-epoch
+        crash the permutation cannot be re-derived, because the stream has
+        already advanced past it.
+        """
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        return order
+
+    def iter_from(self, order: np.ndarray, start_batch: int = 0) -> Iterator[Batch]:
+        """Iterate batches of ``order`` starting at batch ``start_batch``.
+
+        Batch boundaries match :func:`repro.utils.batched_indices` exactly
+        (size ``batch_size``, last batch ragged), so a resumed epoch sees the
+        same batch *shapes* as the uninterrupted run — the property that keeps
+        BLAS results bit-identical across a crash/resume boundary.
+        """
+        if len(order) != len(self.dataset):
+            raise ValueError(
+                f"epoch order has {len(order)} entries for a dataset of "
+                f"{len(self.dataset)} rows; was the loader rebuilt over "
+                "different data?")
+        size = self.batch_size
+        for index in range(start_batch, len(self)):
+            yield self._slice(order[index * size:(index + 1) * size])
+
     def __iter__(self) -> Iterator[Batch]:
-        for indices in batched_indices(len(self.dataset), self.batch_size,
-                                       rng=self._rng, shuffle=self.shuffle):
-            yield self._slice(indices)
+        yield from self.iter_from(self.epoch_order())
 
     def full_batch(self) -> Batch:
         """Return the entire dataset as a single batch (evaluation helper)."""

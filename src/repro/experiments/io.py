@@ -13,6 +13,9 @@ import os
 from typing import Any
 
 from repro.metrics import EvaluationReport
+from repro.reliability.durable import atomic_write_text
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import default_read_policy
 
 
 def report_to_dict(report: EvaluationReport) -> dict:
@@ -45,17 +48,36 @@ def results_to_json(results: Any, indent: int = 2) -> str:
 
 
 def save_results(results: Any, path: str | os.PathLike) -> None:
-    """Write :func:`results_to_json` output to ``path`` (creating directories)."""
+    """Atomically write :func:`results_to_json` output to ``path``.
+
+    Directories are created as needed; the file lands via temp-file + fsync +
+    rename, so a crash mid-save never truncates previously saved results.
+    """
     path = os.fspath(path)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(results_to_json(results))
-        handle.write("\n")
+    atomic_write_text(path, results_to_json(results) + "\n")
 
 
 def load_results(path: str | os.PathLike) -> Any:
-    """Load a JSON results file written by :func:`save_results`."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+    """Load a JSON results file written by :func:`save_results`.
+
+    Transient read errors are retried under the default read policy; a file
+    that is not valid JSON raises a :class:`ValueError` naming the path
+    instead of a bare decode traceback.
+    """
+    path = os.fspath(path)
+
+    def attempt() -> Any:
+        fault_point("io.read", path=path, kind="results")
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        try:
+            return json.loads(content)
+        except ValueError as error:
+            raise ValueError(
+                f"results file '{path}' is not valid JSON ({error}); was the "
+                "run interrupted before save_results finished?") from error
+
+    return default_read_policy().call(attempt)

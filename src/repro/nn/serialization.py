@@ -3,29 +3,43 @@
 Checkpoints written since the serving PR carry a *versioned header* — a JSON
 document stored under the reserved ``CHECKPOINT_META_KEY`` archive entry with
 the format version, the dtype the parameters were saved in and every
-parameter's shape.  Loading validates the header against the receiving module
-and raises :class:`CheckpointError` with a readable diff instead of letting
-``load_state_dict`` fail with a raw NumPy broadcast error.  Legacy archives
-(plain ``np.savez`` of the state dict, as written by PR-1-era
-``save_checkpoint``) have no header and keep loading exactly as before.
+parameter's shape.  Since the reliability PR the header also records a
+per-parameter SHA-256 checksum, the archive is written atomically (temp file
++ fsync + ``os.replace`` via :mod:`repro.reliability.durable`) and loading
+verifies every checksum — so a crash mid-save never leaves a truncated
+checkpoint behind, and a corrupted one is refused with a readable
+:class:`CheckpointError` naming the damaged parameters instead of a raw
+``zipfile``/NumPy traceback.  Legacy archives (plain ``np.savez`` of the
+state dict, as written by PR-1-era ``save_checkpoint``) have no header and
+keep loading exactly as before.
+
+Reads go through a short transient-error retry
+(:func:`repro.reliability.default_read_policy`); corruption is *not* retried
+— it is permanent, and the diagnostic should arrive immediately.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zipfile
 
 import numpy as np
 
 from repro._version import __version__
 from repro.nn.module import Module
+from repro.reliability.durable import atomic_writer, sha256_bytes
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, default_read_policy
 
 #: Reserved archive key holding the JSON header; never a valid parameter name
 #: (parameter names are dotted attribute paths).
 CHECKPOINT_META_KEY = "__repro_checkpoint__"
 
 #: Bump when the archive layout changes incompatibly.  Loaders accept every
-#: version up to and including their own.
+#: version up to and including their own.  Version 1 archives may additionally
+#: carry a ``checksums`` header field (added by the reliability PR; verified
+#: when present, so pre-checksum version-1 archives still load).
 CHECKPOINT_FORMAT_VERSION = 1
 
 
@@ -51,24 +65,68 @@ def checkpoint_metadata(module: Module, state: dict | None = None) -> dict:
         "repro_version": __version__,
         "dtype": dtypes[0] if len(dtypes) == 1 else dtypes,
         "parameters": {name: list(array.shape) for name, array in state.items()},
+        "checksums": {name: sha256_bytes(np.ascontiguousarray(array).tobytes())
+                      for name, array in state.items()},
     }
 
 
 def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
-    """Write a module's full state dict plus the versioned header to ``path``."""
+    """Atomically write a module's state dict plus the versioned header.
+
+    The archive lands via temp-file + fsync + ``os.replace``: a crash at any
+    point leaves either the previous checkpoint or the complete new one.
+    """
     state = module.state_dict()
     # npz keys cannot be empty; parameter names are always non-empty here.
     # The header is stored as a 0-d unicode array: loadable without pickle.
     meta = np.array(json.dumps(checkpoint_metadata(module, state)))
-    np.savez(path, **{CHECKPOINT_META_KEY: meta}, **state)
+    with atomic_writer(path, "wb") as handle:
+        np.savez(handle, **{CHECKPOINT_META_KEY: meta}, **state)
 
 
-def read_checkpoint_metadata(path: str | os.PathLike) -> dict | None:
+def _read_archive(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load every entry of the archive, translating low-level failures.
+
+    ``np.load`` surfaces truncation and zip-structure damage as a zoo of
+    ``zipfile.BadZipFile`` / ``ValueError`` / ``OSError`` / ``EOFError``
+    exceptions; all become :class:`CheckpointError` with the path named.
+    ``OSError`` (other than not-found) is left for the retry policy.
+    """
+    fault_point("io.read", path=os.fspath(path), kind="checkpoint")
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at '{os.fspath(path)}'") from None
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError) as error:
+        raise CheckpointError(
+            f"checkpoint '{os.fspath(path)}' is corrupt or truncated and cannot "
+            f"be read ({type(error).__name__}: {error}); restore it from a "
+            "backup or re-export the model") from error
+
+
+def _load_entries(path: str | os.PathLike,
+                  retry: RetryPolicy | None = None) -> dict[str, np.ndarray]:
+    policy = retry if retry is not None else default_read_policy()
+    return policy.call(_read_archive, path)
+
+
+def read_checkpoint_metadata(path: str | os.PathLike,
+                             retry: RetryPolicy | None = None) -> dict | None:
     """Return the header of the archive at ``path`` (``None`` for legacy files)."""
-    with np.load(path) as archive:
-        if CHECKPOINT_META_KEY not in archive.files:
-            return None
-        return json.loads(str(archive[CHECKPOINT_META_KEY][()]))
+    entries = _load_entries(path, retry)
+    if CHECKPOINT_META_KEY not in entries:
+        return None
+    return _parse_header(entries[CHECKPOINT_META_KEY], path)
+
+
+def _parse_header(meta_entry: np.ndarray, path: str | os.PathLike) -> dict:
+    try:
+        return json.loads(str(meta_entry[()]))
+    except ValueError as error:
+        raise CheckpointError(
+            f"checkpoint '{os.fspath(path)}' has an unreadable header "
+            f"({error}); the archive is corrupt") from error
 
 
 def _validate_header(meta: dict, module: Module, path: str) -> None:
@@ -94,8 +152,24 @@ def _validate_header(meta: dict, module: Module, path: str) -> None:
             "ModelConfig?)\n" + "\n".join(mismatched))
 
 
+def _verify_checksums(meta: dict, state: dict[str, np.ndarray], path: str) -> None:
+    recorded = meta.get("checksums")
+    if not isinstance(recorded, dict):
+        return  # pre-checksum version-1 archive
+    damaged = [
+        name for name, digest in recorded.items()
+        if name in state
+        and sha256_bytes(np.ascontiguousarray(state[name]).tobytes()) != digest
+    ]
+    if damaged:
+        raise CheckpointError(
+            f"checkpoint '{path}' failed checksum verification for "
+            f"{len(damaged)} parameter(s): {sorted(damaged)}; the file is "
+            "corrupt — restore it from a backup or re-export the model")
+
+
 def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True,
-                    dtype=None) -> None:
+                    dtype=None, retry: RetryPolicy | None = None) -> None:
     """Load a state dict saved by :func:`save_checkpoint` into ``module``.
 
     Checkpoints are dtype-portable: arrays are cast to each parameter's
@@ -105,8 +179,12 @@ def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True
 
     Versioned archives are validated against the module before any parameter
     is touched: shape mismatches raise :class:`CheckpointError` naming every
-    offending parameter, and archives from a newer format version are refused.
-    Legacy (header-less) archives load exactly as before.
+    offending parameter, archives from a newer format version are refused,
+    and recorded per-parameter SHA-256 checksums are verified — a single
+    corrupted byte is detected and refused with a readable diagnostic.
+    Legacy (header-less) archives load exactly as before.  Transient read
+    errors are retried under ``retry`` (default:
+    :func:`repro.reliability.default_read_policy`).
 
     Casting parameters alone does not move *compute* to that dtype: batch
     features, masks and zero states are created under the global policy, and
@@ -118,9 +196,10 @@ def load_checkpoint(module: Module, path: str | os.PathLike, strict: bool = True
     """
     if dtype is not None:
         module.astype(dtype)
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
+    state = _load_entries(path, retry)
     meta_entry = state.pop(CHECKPOINT_META_KEY, None)
     if meta_entry is not None:
-        _validate_header(json.loads(str(meta_entry[()])), module, os.fspath(path))
+        meta = _parse_header(meta_entry, path)
+        _validate_header(meta, module, os.fspath(path))
+        _verify_checksums(meta, state, os.fspath(path))
     module.load_state_dict(state, strict=strict)

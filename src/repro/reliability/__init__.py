@@ -1,0 +1,48 @@
+"""``repro.reliability`` — deterministic faults, retries and durable I/O.
+
+The systems counterpart to the paper's robustness claim: distribution shift
+is handled by the models, *infrastructure* shift (partial writes, corrupt
+artifacts, flaky I/O, mid-epoch crashes, poisoned requests) is handled here.
+
+* :mod:`repro.reliability.faults` — seeded fault-injection harness
+  (:class:`FaultPlan`, :func:`inject`, :func:`fault_point`) instrumenting the
+  I/O, encoder, trainer-step and serving-flush call sites.
+* :mod:`repro.reliability.retry` — :class:`RetryPolicy` with exponential
+  backoff, experiment-seeded jitter and deadline budgets, wrapped around
+  frozen-encoder calls and artifact reads.
+* :mod:`repro.reliability.durable` — atomic temp-file + fsync + ``os.replace``
+  writes and the SHA-256 checksums recorded in checkpoint headers, pipeline
+  ``checksums.json`` and training snapshots.
+
+Downstream: :func:`repro.nn.save_checkpoint` / ``load_checkpoint`` refuse
+corrupt archives, ``repro.serve`` artifacts verify end-to-end, and
+``Trainer.snapshot``/``resume`` give crash-resumable training (see the
+``tests/reliability/`` chaos suite).
+"""
+
+from repro.reliability.durable import (
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    fsync_directory,
+    sha256_bytes,
+    sha256_file,
+)
+from repro.reliability.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    fault_point,
+    inject,
+)
+from repro.reliability.retry import DeadlineExceeded, RetryPolicy, default_read_policy
+
+__all__ = [
+    "FaultPlan", "FaultRule", "FaultEvent", "InjectedFault",
+    "inject", "fault_point", "active_plan",
+    "RetryPolicy", "DeadlineExceeded", "default_read_policy",
+    "atomic_writer", "atomic_write_bytes", "atomic_write_text",
+    "sha256_bytes", "sha256_file", "fsync_directory",
+]

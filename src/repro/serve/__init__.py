@@ -32,6 +32,7 @@ Quickstart (see ``examples/serve_quickstart.py`` for the full tour)::
 
 from repro.serve.microbatch import MicroBatcher, Ticket
 from repro.serve.pipeline import (
+    CHECKSUMS_FILE,
     DEFAULT_FEATURE_CHANNELS,
     MANIFEST_FILE,
     PIPELINE_FORMAT_VERSION,
@@ -42,13 +43,15 @@ from repro.serve.pipeline import (
     export_pipeline,
     load_pipeline,
     save_pipeline,
+    verify_pipeline,
 )
 from repro.serve.predictor import Prediction, Predictor
 
 __all__ = [
     "Pipeline", "PipelineError", "save_pipeline", "load_pipeline", "export_pipeline",
+    "verify_pipeline",
     "Predictor", "Prediction",
     "MicroBatcher", "Ticket",
     "PIPELINE_FORMAT_VERSION", "DEFAULT_FEATURE_CHANNELS",
-    "MANIFEST_FILE", "WEIGHTS_FILE", "VOCAB_FILE",
+    "MANIFEST_FILE", "WEIGHTS_FILE", "VOCAB_FILE", "CHECKSUMS_FILE",
 ]

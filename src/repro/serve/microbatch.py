@@ -67,6 +67,8 @@ class MicroBatcher:
         #: flush statistics: how many batches went out and why
         self.batches_flushed = 0
         self.items_flushed = 0
+        #: items that resolved to an error Prediction instead of a score
+        self.items_errored = 0
         self.flush_reasons = {"full": 0, "latency": 0, "drain": 0}
 
     # ------------------------------------------------------------------ #
@@ -76,10 +78,15 @@ class MicroBatcher:
     def submit(self, text: str, domain=None) -> Ticket:
         """Queue one request; may flush the queue (full batch or overdue).
 
-        The domain is resolved (and validated) immediately, so a bad request
+        The text and domain are validated immediately, so a malformed request
         fails in its own ``submit`` call instead of poisoning the batch it
-        would later be flushed with.
+        would later be flushed with.  (Items that *pass* validation but still
+        fail at scoring time — e.g. an encoder fault — are isolated per
+        ticket by the safe flush path, never raised at an unrelated caller.)
         """
+        problem = self.predictor.validate_text(text)
+        if problem is not None:
+            raise ValueError(f"invalid request: {problem}")
         domain = self.predictor._domain_index(domain)
         if self._pending and self._overdue():
             self._flush("latency")
@@ -100,6 +107,23 @@ class MicroBatcher:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.drain()
+            return
+        # Exiting on an exception: pending tickets must not be silently lost.
+        # Try to flush them; if even that fails, resolve each as an error so
+        # every holder of a ticket gets a terminal answer.  The original
+        # exception is never suppressed.
+        try:
+            self.drain()
+        except BaseException as drain_error:  # noqa: BLE001 - resolved per ticket
+            from repro.serve.predictor import Prediction
+
+            stranded, self._pending = self._pending, []
+            message = (f"micro-batcher context exited during "
+                       f"{type(exc).__name__} and the final drain failed: "
+                       f"{drain_error}")
+            for ticket in stranded:
+                ticket._result = Prediction.failure(message)
+                self.items_errored += 1
 
     # ------------------------------------------------------------------ #
     def _overdue(self) -> bool:
@@ -107,19 +131,25 @@ class MicroBatcher:
         return waited_ms >= self.max_latency_ms
 
     def _flush(self, reason: str) -> None:
+        from repro.reliability.faults import fault_point
+
         batch, self._pending = self._pending, []
         try:
-            predictions = self.predictor.predict(
+            fault_point("serve.flush", size=len(batch), reason=reason)
+            predictions = self.predictor.predict_safe(
                 [ticket.text for ticket in batch],
                 domains=[ticket.domain for ticket in batch])
         except BaseException:
-            # Put the batch back so a transient failure never loses tickets.
+            # Systemic failure (every item fails alone too, or the flush was
+            # interrupted): put the batch back so no ticket is ever lost.
             self._pending = batch + self._pending
             raise
         finished = time.perf_counter()
         for ticket, prediction in zip(batch, predictions):
             prediction.latency_ms = (finished - ticket.submitted_at) * 1e3
             ticket._result = prediction
+            if prediction.error is not None:
+                self.items_errored += 1
         self.batches_flushed += 1
         self.items_flushed += len(batch)
         self.flush_reasons[reason] += 1

@@ -36,6 +36,9 @@ from repro.encoders.pretrained import FrozenPretrainedEncoder
 from repro.models.base import FakeNewsDetector, ModelConfig
 from repro.models.registry import build_model, registry_name
 from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.reliability.durable import atomic_write_text, sha256_file
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import default_read_policy
 from repro.tensor import default_dtype
 
 #: Bump when the artifact layout changes incompatibly.
@@ -44,6 +47,11 @@ PIPELINE_FORMAT_VERSION = 1
 MANIFEST_FILE = "manifest.json"
 WEIGHTS_FILE = "weights.npz"
 VOCAB_FILE = "vocab.json"
+#: Sidecar mapping each artifact file to its SHA-256, written last so a
+#: crash mid-save leaves a missing (detectable) sidecar, never a stale one
+#: blessing partial content.  Artifacts written before the reliability PR
+#: have no sidecar and are loaded without verification.
+CHECKSUMS_FILE = "checksums.json"
 
 #: Feature channels the stock training loaders precompute and the serving
 #: path recomputes from raw text (see ``repro.serve.predictor``).
@@ -82,6 +90,10 @@ class Pipeline:
     dtype: str
     feature_channels: tuple[str, ...] = DEFAULT_FEATURE_CHANNELS
     metadata: dict = field(default_factory=dict)
+    #: Directory this pipeline was loaded from (set by :func:`load_pipeline`;
+    #: ``None`` for in-memory pipelines).  ``Predictor.health`` re-verifies
+    #: the artifact's checksums through it.
+    source_path: str | None = None
 
     def __post_init__(self):
         if self.encoder.vocab_size != len(self.vocab):
@@ -164,17 +176,61 @@ class Pipeline:
 
 
 def save_pipeline(pipeline: Pipeline, path: str | os.PathLike) -> str:
-    """Write ``pipeline`` as a directory artifact at ``path``; returns the path."""
+    """Write ``pipeline`` as a directory artifact at ``path``; returns the path.
+
+    Every file is written atomically, and a ``checksums.json`` sidecar
+    recording each file's SHA-256 lands *last* — so a crash at any moment
+    leaves either a complete, verifiable artifact or one whose incompleteness
+    is detectable, never a silently inconsistent bundle.
+    """
     path = os.fspath(path)
     os.makedirs(path, exist_ok=True)
-    with open(os.path.join(path, MANIFEST_FILE), "w", encoding="utf-8") as handle:
-        json.dump(pipeline.manifest(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    with open(os.path.join(path, VOCAB_FILE), "w", encoding="utf-8") as handle:
-        json.dump(pipeline.vocab.to_spec(), handle)
-        handle.write("\n")
+    checksums: dict[str, str] = {}
     save_checkpoint(pipeline.model, os.path.join(path, WEIGHTS_FILE))
+    checksums[WEIGHTS_FILE] = sha256_file(os.path.join(path, WEIGHTS_FILE))
+    checksums[VOCAB_FILE] = atomic_write_text(
+        os.path.join(path, VOCAB_FILE),
+        json.dumps(pipeline.vocab.to_spec()) + "\n")
+    checksums[MANIFEST_FILE] = atomic_write_text(
+        os.path.join(path, MANIFEST_FILE),
+        json.dumps(pipeline.manifest(), indent=2, sort_keys=True) + "\n")
+    atomic_write_text(os.path.join(path, CHECKSUMS_FILE),
+                      json.dumps(checksums, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def verify_pipeline(path: str | os.PathLike) -> dict[str, str]:
+    """Verify the artifact's recorded checksums; returns ``{file: digest}``.
+
+    Raises :class:`PipelineError` naming every damaged or missing file.
+    Artifacts written before checksums existed (no ``checksums.json``) pass
+    vacuously with an empty mapping.
+    """
+    path = os.fspath(path)
+    sidecar = os.path.join(path, CHECKSUMS_FILE)
+    if not os.path.exists(sidecar):
+        if not os.path.exists(os.path.join(path, MANIFEST_FILE)):
+            raise PipelineError(
+                f"no pipeline artifact at '{path}' (missing {MANIFEST_FILE}); "
+                "expected a directory written by repro.serve.save_pipeline")
+        return {}
+    try:
+        with open(sidecar, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except ValueError as error:
+        raise PipelineError(
+            f"pipeline at '{path}' has an unreadable {CHECKSUMS_FILE} "
+            f"({error}); the artifact is corrupt — re-export it") from error
+    damaged: list[str] = []
+    for name, digest in sorted(recorded.items()):
+        target = os.path.join(path, name)
+        if not os.path.exists(target) or sha256_file(target) != digest:
+            damaged.append(name)
+    if damaged:
+        raise PipelineError(
+            f"pipeline at '{path}' is corrupted (checksum mismatch) in: "
+            f"{damaged}; the artifact was damaged after export — re-export it")
+    return dict(recorded)
 
 
 def export_pipeline(model: FakeNewsDetector, path: str | os.PathLike, *,
@@ -212,8 +268,13 @@ def load_pipeline(path: str | os.PathLike) -> Pipeline:
         raise PipelineError(
             f"no pipeline artifact at '{path}' (missing {MANIFEST_FILE}); "
             "expected a directory written by repro.serve.save_pipeline")
-    with open(manifest_path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
+    verify_pipeline(path)
+    try:
+        manifest = json.loads(_read_artifact_text(manifest_path))
+    except ValueError as error:
+        raise PipelineError(
+            f"pipeline at '{path}' has an unreadable {MANIFEST_FILE} "
+            f"({error}); the artifact is corrupt — re-export it") from error
     version = manifest.get("format_version")
     if not isinstance(version, int) or version > PIPELINE_FORMAT_VERSION:
         raise PipelineError(
@@ -221,8 +282,8 @@ def load_pipeline(path: str | os.PathLike) -> Pipeline:
             f"only understands versions <= {PIPELINE_FORMAT_VERSION}")
 
     try:
-        with open(os.path.join(path, VOCAB_FILE), "r", encoding="utf-8") as handle:
-            vocab = Vocabulary.from_spec(json.load(handle))
+        vocab = Vocabulary.from_spec(
+            json.loads(_read_artifact_text(os.path.join(path, VOCAB_FILE))))
         tokenizer = tokenizer_from_spec(manifest["tokenizer"])
         encoder = FrozenPretrainedEncoder.from_spec(manifest["encoder"])
         model_name = manifest["model"]["name"]
@@ -263,4 +324,16 @@ def load_pipeline(path: str | os.PathLike) -> Pipeline:
         feature_channels=tuple(manifest.get("feature_channels",
                                             DEFAULT_FEATURE_CHANNELS)),
         metadata=dict(manifest.get("metadata", {})),
+        source_path=path,
     )
+
+
+def _read_artifact_text(path: str) -> str:
+    """Read a small artifact file under the default read-retry policy."""
+
+    def attempt() -> str:
+        fault_point("io.read", path=path, kind="pipeline")
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    return default_read_policy().call(attempt)

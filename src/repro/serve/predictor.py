@@ -29,14 +29,22 @@ from repro.data.dataset import FAKE_LABEL, LABEL_NAMES, encode_texts
 from repro.data.loader import Batch
 from repro.data.tokenizer import WhitespaceTokenizer
 from repro.encoders.features import emotion_features_batch, style_features_batch
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy
 from repro.serve.microbatch import MicroBatcher
-from repro.serve.pipeline import Pipeline, PipelineError
+from repro.serve.pipeline import Pipeline, PipelineError, verify_pipeline
 from repro.tensor import default_dtype, fused_kernels
 
 
 @dataclass
 class Prediction:
-    """One model verdict on one raw-text news item."""
+    """One model verdict on one raw-text news item.
+
+    A failed item (invalid input, or an item isolated by
+    :meth:`Predictor.predict_safe`) carries its diagnostic in ``error``; all
+    scoring fields are sentinel values then (``label=-1``, NaN probability).
+    Check ``ok`` before consuming the scores.
+    """
 
     label: int
     label_name: str
@@ -44,6 +52,18 @@ class Prediction:
     probabilities: tuple[float, ...]
     domain: str
     latency_ms: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @classmethod
+    def failure(cls, error: str, domain: str = "",
+                latency_ms: float = 0.0) -> "Prediction":
+        return cls(label=-1, label_name="error", probability_fake=float("nan"),
+                   probabilities=(), domain=domain, latency_ms=latency_ms,
+                   error=error)
 
     def as_dict(self) -> dict:
         return {
@@ -53,6 +73,7 @@ class Prediction:
             "probabilities": list(self.probabilities),
             "domain": self.domain,
             "latency_ms": self.latency_ms,
+            "error": self.error,
         }
 
 
@@ -78,14 +99,26 @@ class Predictor:
     """
 
     def __init__(self, pipeline: Pipeline, default_domain: int | str | None = 0,
-                 bucket_size: int | None = None, use_fused: bool = True):
+                 bucket_size: int | None = None, use_fused: bool = True,
+                 max_text_chars: int = 100_000,
+                 encoder_retry: RetryPolicy | None = None):
         self.pipeline = pipeline
         self.default_domain = 0  # placeholder so _domain_index(None) resolves
         self.default_domain = self._domain_index(default_domain)
         if bucket_size is not None and bucket_size < 1:
             raise ValueError("bucket_size must be a positive integer or None")
+        if max_text_chars < 1:
+            raise ValueError("max_text_chars must be positive")
         self.bucket_size = bucket_size
         self.use_fused = use_fused
+        self.max_text_chars = max_text_chars
+        # Frozen-encoder calls go through a short transient-error retry; the
+        # in-process stand-in never needs it, but remote encoder backends and
+        # the chaos suite exercise the path.
+        self._encode_plm = (encoder_retry
+                            or RetryPolicy(attempts=2, base_delay_s=0.01,
+                                           max_delay_s=0.05)).wrap(
+            pipeline.encoder.encode)
         self._channel_names = self._resolve_channels(pipeline)
         pipeline.model.eval()
 
@@ -155,6 +188,7 @@ class Predictor:
         """
         if not texts:
             raise ValueError("encode_batch needs at least one text")
+        fault_point("serve.encode", texts=texts)
         pipeline = self.pipeline
         domain_ids = self._resolve_domains(domains, len(texts))
         token_ids, mask = encode_texts(texts, pipeline.vocab, pipeline.max_length,
@@ -169,7 +203,7 @@ class Predictor:
         token_lists = None
         for name in self._channel_names:
             if name == "plm":
-                values = pipeline.encoder.encode(token_ids, mask)
+                values = self._encode_plm(token_ids, mask)
             else:
                 if token_lists is None:
                     tokenize = WhitespaceTokenizer()
@@ -211,6 +245,173 @@ class Predictor:
             probabilities = self.pipeline.model.predict_proba(batch)
         elapsed_ms = (time.perf_counter() - start) * 1e3
         return self._package(batch, probabilities, [elapsed_ms] * len(texts))
+
+    # ------------------------------------------------------------------ #
+    # Graceful degradation                                                 #
+    # ------------------------------------------------------------------ #
+    def validate_text(self, text) -> str | None:
+        """Why ``text`` is not servable, or ``None`` when it is.
+
+        Checks are structural (type, emptiness, size cap) — the strict
+        :meth:`predict` path skips them, the safe path and
+        :class:`MicroBatcher.submit` apply them up front so malformed
+        requests fail in their own call with a readable reason.
+        """
+        if not isinstance(text, str):
+            return f"text must be a string, got {type(text).__name__}"
+        if not text.strip():
+            return "text is empty"
+        if len(text) > self.max_text_chars:
+            return (f"text has {len(text)} characters, over the "
+                    f"{self.max_text_chars}-character limit")
+        return None
+
+    def _safe_domain(self, domain) -> tuple[int, str | None]:
+        """Resolve one request's domain; returns ``(index, error)``."""
+        try:
+            return self._domain_index(domain), None
+        except (KeyError, ValueError, TypeError) as error:
+            return self.default_domain, str(error)
+
+    def _locate_failures(self, texts: list[str], domains: list[int],
+                         errors: dict[int, str]) -> None:
+        """Bisect a failing batch down to the individual offending items.
+
+        Probes sub-batches through the strict :meth:`predict` path and
+        records each size-1 failure in ``errors``; probe *results* are
+        discarded (sub-batch shapes differ from the final full-shape run, so
+        they are not bit-comparable).
+        """
+        if len(texts) == 1:
+            try:
+                self.predict(texts, domains=domains)
+            except Exception as error:  # noqa: BLE001 - recorded, not dropped
+                errors[0] = f"{type(error).__name__}: {error}"
+            return
+        middle = len(texts) // 2
+        for offset, (chunk, chunk_domains) in enumerate(
+                [(texts[:middle], domains[:middle]),
+                 (texts[middle:], domains[middle:])]):
+            try:
+                self.predict(chunk, domains=chunk_domains)
+            except Exception:  # noqa: BLE001 - bisected further
+                chunk_errors: dict[int, str] = {}
+                self._locate_failures(chunk, chunk_domains, chunk_errors)
+                base = 0 if offset == 0 else middle
+                errors.update({base + i: msg for i, msg in chunk_errors.items()})
+
+    def predict_safe(self, texts: Sequence[str], domains=None) -> list[Prediction]:
+        """Score a batch, isolating per-item failures instead of failing it.
+
+        Invalid inputs (non-string, empty, oversized, unknown domain) and
+        items whose encode/forward raises are returned as error
+        :class:`Prediction`\\ s; every other item is scored normally.  The
+        surviving items are re-run *at the original batch shape* — failed
+        rows are substituted with a valid donor text and their rows discarded
+        — so their probabilities are bit-identical to a fully-clean batch of
+        the same requests (row independence of the batched forward).
+
+        Raises only when the failure is systemic: the batch fails as a whole
+        but every item succeeds alone (a batch-level fault), or *every* item
+        fails (indistinguishable from an engine outage — isolation is only
+        meaningful when part of the batch can still be served).
+        """
+        texts = list(texts)
+        if not texts:
+            return []
+        start = time.perf_counter()
+        resolved = self._resolve_safe_domains(domains, len(texts))
+        errors: dict[int, str] = {}
+        for index, text in enumerate(texts):
+            problem = self.validate_text(text)
+            if problem is not None:
+                errors[index] = problem
+            elif resolved[index][1] is not None:
+                errors[index] = resolved[index][1]
+        domain_ids = [index for index, _ in resolved]
+
+        def run(candidate_texts: list[str]) -> list[Prediction]:
+            predictions = self.predict(candidate_texts, domains=domain_ids)
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            results = []
+            for index, prediction in enumerate(predictions):
+                if index in errors:
+                    results.append(self._failure_for(index, errors, domain_ids,
+                                                     elapsed_ms))
+                else:
+                    prediction.latency_ms = elapsed_ms
+                    results.append(prediction)
+            return results
+
+        donor = next((texts[i] for i in range(len(texts)) if i not in errors), None)
+        if donor is None:
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            return [self._failure_for(index, errors, domain_ids, elapsed_ms)
+                    for index in range(len(texts))]
+        substituted = [donor if index in errors else text
+                       for index, text in enumerate(texts)]
+        try:
+            return run(substituted)
+        except Exception:  # noqa: BLE001 - bisected below
+            before = len(errors)
+            self._locate_failures(substituted, domain_ids, errors)
+            if len(errors) == before or len(errors) == len(texts):
+                raise  # batch-level fault or total outage: nothing to isolate
+            # Re-pick the donor: the original one may itself have failed.
+            donor = next(texts[i] for i in range(len(texts)) if i not in errors)
+            substituted = [donor if index in errors else text
+                           for index, text in enumerate(texts)]
+            return run(substituted)
+
+    def _resolve_safe_domains(self, domains, count: int) -> list[tuple[int, str | None]]:
+        if domains is None or isinstance(domains, (int, str)):
+            resolved = self._safe_domain(domains)
+            return [resolved] * count
+        if len(domains) != count:
+            raise ValueError(f"{len(domains)} domains given for {count} texts")
+        return [self._safe_domain(domain) for domain in domains]
+
+    def _failure_for(self, index: int, errors: dict[int, str],
+                     domain_ids: list[int], elapsed_ms: float) -> Prediction:
+        return Prediction.failure(
+            errors[index],
+            domain=self.pipeline.domain_names[domain_ids[index]],
+            latency_ms=elapsed_ms)
+
+    def health(self) -> dict:
+        """A structured liveness report for this predictor.
+
+        ``status`` is ``"ok"`` when every check passes and ``"degraded"``
+        otherwise; each check reports ``"ok"`` or its failure reason.  The
+        artifact check re-verifies the pipeline directory's checksums (only
+        for pipelines loaded from disk), the inference check round-trips one
+        probe text through the full encode+forward path.
+        """
+        checks: dict[str, str] = {}
+        if self.pipeline.source_path is not None:
+            try:
+                verify_pipeline(self.pipeline.source_path)
+                checks["artifact"] = "ok"
+            except Exception as error:  # noqa: BLE001 - reported, not raised
+                checks["artifact"] = str(error)
+        try:
+            probabilities = self.predict_proba(["health probe"])
+            if not np.all(np.isfinite(probabilities)):
+                checks["inference"] = "probe produced non-finite probabilities"
+            else:
+                checks["inference"] = "ok"
+        except Exception as error:  # noqa: BLE001 - reported, not raised
+            checks["inference"] = f"{type(error).__name__}: {error}"
+        return {
+            "status": ("ok" if all(value == "ok" for value in checks.values())
+                       else "degraded"),
+            "model": self.pipeline.model_name,
+            "dtype": self.pipeline.dtype,
+            "max_length": self.pipeline.max_length,
+            "domains": list(self.pipeline.domain_names),
+            "source_path": self.pipeline.source_path,
+            "checks": checks,
+        }
 
     def predict_iter(self, texts: Iterable[str], domains=None,
                      batch_size: int = 64) -> Iterator[Prediction]:

@@ -51,6 +51,21 @@ def fallback_rng() -> np.random.Generator:
     return _FALLBACK_RNG
 
 
+def get_rng_state() -> dict:
+    """JSON-serialisable state of the fallback stream (for training snapshots)."""
+    return _FALLBACK_RNG.bit_generator.state
+
+
+def set_rng_state(state: dict) -> None:
+    """Restore the fallback stream to a state from :func:`get_rng_state`.
+
+    Mutates the existing generator in place, so components that captured the
+    generator object (rather than calling :func:`fallback_rng` per draw) see
+    the restored stream too.
+    """
+    _FALLBACK_RNG.bit_generator.state = state
+
+
 def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent generators from one seed (for sub-modules)."""
     sequence = np.random.SeedSequence(seed)

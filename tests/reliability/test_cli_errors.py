@@ -1,0 +1,99 @@
+"""CLI error paths: one readable diagnostic line, non-zero exit, no traceback."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import cli
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)))), "src")
+
+
+def _flip_byte(path: str, offset: int = 200) -> None:
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    blob[offset % len(blob)] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+
+
+def _one_diagnostic_line(captured: str) -> None:
+    assert captured.startswith("predict: ")
+    assert captured.count("\n") == 1
+    assert "Traceback" not in captured
+
+
+class TestPredictErrorPaths:
+    def test_missing_artifact(self, tmp_path, capsys):
+        code = cli.main(["predict", "--pipeline", str(tmp_path / "nowhere"),
+                         "--text", "some news"])
+        assert code == 2
+        err = capsys.readouterr().err
+        _one_diagnostic_line(err)
+        assert "no pipeline artifact" in err
+
+    def test_corrupt_artifact(self, artifact, capsys):
+        _flip_byte(os.path.join(artifact, "weights.npz"))
+        code = cli.main(["predict", "--pipeline", artifact, "--text", "some news"])
+        assert code == 2
+        err = capsys.readouterr().err
+        _one_diagnostic_line(err)
+        assert "checksum mismatch" in err
+
+    def test_unreadable_input_file(self, artifact, tmp_path, capsys):
+        code = cli.main(["predict", "--pipeline", artifact,
+                         "--input", str(tmp_path)])  # a directory, not a file
+        assert code == 2
+        err = capsys.readouterr().err
+        _one_diagnostic_line(err)
+        assert "cannot read --input" in err
+
+    def test_non_utf8_input_file(self, artifact, tmp_path, capsys):
+        binary = tmp_path / "garbage.bin"
+        binary.write_bytes(b"\xff\xfe\x00 not text \x9c")
+        code = cli.main(["predict", "--pipeline", artifact, "--input", str(binary)])
+        assert code == 2
+        _one_diagnostic_line(capsys.readouterr().err)
+
+    def test_unknown_domain(self, artifact, capsys):
+        code = cli.main(["predict", "--pipeline", artifact,
+                         "--text", "some news", "--domain", "astrology"])
+        assert code == 2
+        err = capsys.readouterr().err
+        _one_diagnostic_line(err)
+        assert "astrology" in err
+
+    def test_no_texts_given(self, artifact, capsys):
+        code = cli.main(["predict", "--pipeline", artifact])
+        assert code == 2
+        err = capsys.readouterr().err
+        _one_diagnostic_line(err)
+        assert "no texts" in err
+
+    def test_valid_artifact_still_predicts(self, artifact, capsys):
+        code = cli.main(["predict", "--pipeline", artifact,
+                         "--text", "breaking dom1_topic3 fake_sig_1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p(fake)=" in out
+
+
+class TestPredictSubprocess:
+    def test_corrupt_artifact_prints_no_traceback_in_a_real_process(
+            self, artifact, tmp_path):
+        """The end-user view: exit 2, a one-line stderr, zero traceback."""
+        _flip_byte(os.path.join(artifact, "weights.npz"))
+        env = dict(os.environ, PYTHONPATH=SRC)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "predict",
+             "--pipeline", artifact, "--text", "some news"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert result.stderr.startswith("predict: ")
+        assert result.stderr.strip().count("\n") == 0

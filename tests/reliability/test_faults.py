@@ -1,0 +1,164 @@
+"""FaultPlan / fault_point / inject semantics: deterministic, replayable chaos."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.reliability import (
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    fault_point,
+    inject,
+)
+
+
+class TestFaultPoint:
+    def test_no_plan_is_a_no_op(self):
+        assert active_plan() is None
+        fault_point("anything.at.all", payload=1)  # must not raise
+
+    def test_fail_raises_injected_fault_naming_the_site(self):
+        with inject(FaultPlan().fail("io.read")):
+            with pytest.raises(InjectedFault, match="io.read"):
+                fault_point("io.read")
+
+    def test_non_matching_site_passes_through(self):
+        plan = FaultPlan().fail("io.read")
+        with inject(plan):
+            fault_point("io.write")
+        assert plan.fired == 0
+
+    def test_fnmatch_wildcard_sites(self):
+        plan = FaultPlan().fail("io.*", times=None)
+        with inject(plan):
+            with pytest.raises(InjectedFault):
+                fault_point("io.read")
+            with pytest.raises(InjectedFault):
+                fault_point("io.write")
+            fault_point("serve.flush")
+        assert plan.fired == 2
+
+    def test_custom_error_class_and_instance(self):
+        with inject(FaultPlan().fail("a", error=OSError)):
+            with pytest.raises(OSError):
+                fault_point("a")
+        marker = TimeoutError("backend stalled")
+        with inject(FaultPlan().fail("b", error=marker)):
+            with pytest.raises(TimeoutError, match="backend stalled"):
+                fault_point("b")
+
+
+class TestScheduling:
+    def test_after_skips_leading_calls(self):
+        plan = FaultPlan().fail("site", after=2)
+        with inject(plan):
+            fault_point("site")
+            fault_point("site")
+            with pytest.raises(InjectedFault, match="call #2"):
+                fault_point("site")
+        assert plan.events[0].call_index == 2
+
+    def test_times_caps_firings_and_none_is_unlimited(self):
+        plan = FaultPlan().fail("site", times=2)
+        with inject(plan):
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    fault_point("site")
+            fault_point("site")  # budget spent
+        assert plan.fired == 2
+
+        unlimited = FaultPlan().fail("site", times=None)
+        with inject(unlimited):
+            for _ in range(5):
+                with pytest.raises(InjectedFault):
+                    fault_point("site")
+        assert unlimited.fired == 5
+
+    def test_when_predicate_gates_before_counting(self):
+        plan = FaultPlan().fail("serve.encode", after=1,
+                                when=lambda d: "POISON" in d.get("text", ""))
+        with inject(plan):
+            fault_point("serve.encode", text="clean")       # not even counted
+            fault_point("serve.encode", text="POISON 0")    # matching call #0
+            with pytest.raises(InjectedFault):
+                fault_point("serve.encode", text="POISON 1")
+        assert plan.events[0].call_index == 1
+
+    def test_probability_stream_is_seeded_and_replayable(self):
+        def fire_pattern(plan):
+            outcomes = []
+            with inject(plan):
+                for _ in range(40):
+                    try:
+                        fault_point("site")
+                        outcomes.append(False)
+                    except InjectedFault:
+                        outcomes.append(True)
+            return outcomes
+
+        first = fire_pattern(FaultPlan(seed=11).fail("site", times=None, probability=0.3))
+        second = fire_pattern(FaultPlan(seed=11).fail("site", times=None, probability=0.3))
+        assert first == second
+        assert 0 < sum(first) < 40
+        other = fire_pattern(FaultPlan(seed=12).fail("site", times=None, probability=0.3))
+        assert first != other
+
+    def test_reset_rearms_rules_and_reseeds(self):
+        plan = FaultPlan(seed=3).fail("site", times=None, probability=0.5)
+        def run():
+            outcomes = []
+            with inject(plan):
+                for _ in range(20):
+                    try:
+                        fault_point("site")
+                        outcomes.append(False)
+                    except InjectedFault:
+                        outcomes.append(True)
+            return outcomes
+
+        first = run()
+        plan.reset()
+        assert plan.fired == 0 and plan.events == []
+        assert run() == first
+
+    def test_stall_sleeps_and_records_event(self):
+        plan = FaultPlan().stall("io.read", delay_s=0.05)
+        with inject(plan):
+            start = time.perf_counter()
+            fault_point("io.read")
+            elapsed = time.perf_counter() - start
+        assert elapsed >= 0.04
+        assert plan.events[0].action == "stall"
+
+    def test_negative_stall_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().stall("x", delay_s=-1.0)
+
+
+class TestInject:
+    def test_plans_do_not_nest(self):
+        with inject(FaultPlan()):
+            with pytest.raises(RuntimeError, match="does not nest"):
+                with inject(FaultPlan()):
+                    pass
+
+    def test_plan_uninstalled_even_on_error(self):
+        with pytest.raises(InjectedFault):
+            with inject(FaultPlan().fail("site")) as plan:
+                assert active_plan() is plan
+                fault_point("site")
+        assert active_plan() is None
+
+    def test_rules_compose_into_one_plan(self):
+        plan = (FaultPlan()
+                .fail("io.read", after=1)
+                .stall("io.write", delay_s=0.0, times=None))
+        with inject(plan):
+            fault_point("io.write")
+            fault_point("io.read")
+            with pytest.raises(InjectedFault):
+                fault_point("io.read")
+        assert [event.action for event in plan.events] == ["stall", "raise"]

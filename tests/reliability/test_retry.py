@@ -1,0 +1,130 @@
+"""RetryPolicy: bounded, seeded, deadline-aware retries around fallible calls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import (
+    DeadlineExceeded,
+    FaultPlan,
+    RetryPolicy,
+    default_read_policy,
+    inject,
+)
+
+
+def _flaky(failures: int, error=OSError):
+    """A callable failing ``failures`` times before returning its call count."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise error(f"transient #{calls['n']}")
+        return calls["n"]
+
+    fn.calls = calls
+    return fn
+
+
+def _no_sleep():
+    slept = []
+    return slept, slept.append
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        slept, sleep = _no_sleep()
+        policy = RetryPolicy(attempts=3, base_delay_s=0.01, seed=0, sleep=sleep)
+        assert policy.call(_flaky(2)) == 3
+        assert len(slept) == 2
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        slept, sleep = _no_sleep()
+        policy = RetryPolicy(attempts=3, base_delay_s=0.0, seed=0, sleep=sleep)
+        with pytest.raises(OSError, match="transient #3"):
+            policy.call(_flaky(99))
+        assert len(slept) == 2  # one delay per retry, none after the last
+
+    def test_give_up_on_fails_immediately(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=0.0, seed=0,
+                             give_up_on=(FileNotFoundError,), sleep=lambda _: None)
+        fn = _flaky(99, error=FileNotFoundError)
+        with pytest.raises(FileNotFoundError):
+            policy.call(fn)
+        assert fn.calls["n"] == 1
+
+    def test_unlisted_errors_propagate_immediately(self):
+        fn = _flaky(99, error=ValueError)
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=5, seed=0, sleep=lambda _: None).call(fn)
+        assert fn.calls["n"] == 1
+
+    def test_deadline_budget_raises_instead_of_sleeping(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=10.0, deadline_s=0.05,
+                             seed=0, sleep=lambda _: pytest.fail("must not sleep"))
+        with pytest.raises(DeadlineExceeded, match="transient #1"):
+            policy.call(_flaky(99))
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=0.3, jitter=0.0, seed=0)
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.3, 0.3])
+
+    def test_jitter_stream_is_seeded(self):
+        make = lambda seed: RetryPolicy(attempts=6, base_delay_s=0.1, jitter=0.25,
+                                        seed=seed)
+        assert list(make(5).delays()) == list(make(5).delays())
+        assert list(make(5).delays()) != list(make(6).delays())
+        for delay in make(5).delays():
+            assert 0.075 <= delay  # within the +/-25% band of the schedule
+
+    def test_wrap_passes_arguments_through(self):
+        policy = RetryPolicy(attempts=2, base_delay_s=0.0, seed=0,
+                             sleep=lambda _: None)
+        wrapped = policy.wrap(lambda a, b=0: a + b)
+        assert wrapped(2, b=3) == 5
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+
+    def test_default_read_policy_gives_up_on_missing_files(self):
+        policy = default_read_policy()
+        fn = _flaky(99, error=FileNotFoundError)
+        with pytest.raises(FileNotFoundError):
+            policy.call(fn)
+        assert fn.calls["n"] == 1
+
+
+class TestRetryIntegration:
+    def test_checkpoint_read_survives_transient_faults(self, tmp_path, make_world):
+        """Two injected transient read errors cost retries, not the load."""
+        from repro.models import build_model
+        from repro.nn import load_checkpoint, save_checkpoint
+
+        world = make_world()
+        model = build_model("textcnn_s", world.config)
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(model, path)
+        plan = FaultPlan().fail("io.read", times=2, error=OSError("flaky disk"))
+        clone = build_model("textcnn_s", world.config)
+        with inject(plan):
+            load_checkpoint(clone, path)
+        assert plan.fired == 2
+        assert clone.state_dict().keys() == model.state_dict().keys()
+
+    def test_predictor_encoder_calls_are_retried(self, artifact):
+        """One transient encoder failure is absorbed by the predictor's policy."""
+        from repro.serve import load_pipeline
+
+        predictor = load_pipeline(artifact).predictor()
+        plan = FaultPlan().fail("encoder.encode", times=1, error=OSError("backend blip"))
+        with inject(plan):
+            [prediction] = predictor.predict(["breaking dom1_topic3 fake_sig_1"])
+        assert plan.fired == 1
+        assert prediction.label in (0, 1)

@@ -29,6 +29,7 @@ from repro.nn import (
     save_checkpoint,
 )
 from repro.serve import (
+    CHECKSUMS_FILE,
     MANIFEST_FILE,
     PIPELINE_FORMAT_VERSION,
     Pipeline,
@@ -84,6 +85,25 @@ def _build(name, model_config, dtype):
 def _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset):
     return Pipeline.from_training(model, tiny_vocab, tiny_encoder, max_length=16,
                                   domain_names=tiny_dataset.domain_names)
+
+
+def _rewrite_manifest(path, mutate):
+    """Edit the manifest as a (hypothetical) different exporter would: the
+    spec changes but the checksum sidecar stays consistent with the bytes."""
+    from repro.reliability import sha256_file
+
+    manifest_path = os.path.join(path, MANIFEST_FILE)
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    mutate(manifest)
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle)
+    checksums_path = os.path.join(path, CHECKSUMS_FILE)
+    with open(checksums_path) as handle:
+        checksums = json.load(handle)
+    checksums[MANIFEST_FILE] = sha256_file(manifest_path)
+    with open(checksums_path, "w") as handle:
+        json.dump(checksums, handle)
 
 
 @pytest.mark.parametrize("dtype", DTYPES)
@@ -169,24 +189,29 @@ class TestArtifactFormat:
     def test_malformed_artifact_raises_pipeline_error(self, model_config, tiny_vocab,
                                                       tiny_encoder, tiny_dataset,
                                                       tmp_path):
-        """Any broken piece — files or specs — surfaces as PipelineError."""
+        """Any broken piece — files or specs — surfaces as PipelineError.
+
+        With the checksum sidecar present, any byte-level damage is refused
+        up-front as a checksum mismatch (covered in tests/reliability/).  Each
+        block below removes the sidecar first so the deeper, piece-specific
+        error paths stay exercised via the legacy no-sidecar load.
+        """
         model = _build("textcnn_s", model_config, "float64")
         path = save_pipeline(
             _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
             tmp_path / "artifact")
         os.remove(os.path.join(path, "vocab.json"))
+        with pytest.raises(PipelineError, match="checksum mismatch"):
+            load_pipeline(path)
+        os.remove(os.path.join(path, CHECKSUMS_FILE))
         with pytest.raises(PipelineError, match="malformed"):
             load_pipeline(path)
 
         path = save_pipeline(
             _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
             tmp_path / "artifact2")
-        manifest_path = os.path.join(path, MANIFEST_FILE)
-        with open(manifest_path) as handle:
-            manifest = json.load(handle)
-        manifest["tokenizer"] = {"kind": "sentencepiece"}
-        with open(manifest_path, "w") as handle:
-            json.dump(manifest, handle)
+        _rewrite_manifest(
+            path, lambda m: m.update(tokenizer={"kind": "sentencepiece"}))
         with pytest.raises(PipelineError, match="malformed"):
             load_pipeline(path)
 
@@ -194,6 +219,7 @@ class TestArtifactFormat:
             _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
             tmp_path / "artifact3")
         os.remove(os.path.join(path, "weights.npz"))
+        os.remove(os.path.join(path, CHECKSUMS_FILE))
         with pytest.raises(PipelineError, match="unloadable weights"):
             load_pipeline(path)
 
@@ -203,12 +229,9 @@ class TestArtifactFormat:
         path = save_pipeline(
             _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
             tmp_path / "artifact")
-        manifest_path = os.path.join(path, MANIFEST_FILE)
-        with open(manifest_path) as handle:
-            manifest = json.load(handle)
-        manifest["format_version"] = PIPELINE_FORMAT_VERSION + 1
-        with open(manifest_path, "w") as handle:
-            json.dump(manifest, handle)
+        _rewrite_manifest(
+            path,
+            lambda m: m.update(format_version=PIPELINE_FORMAT_VERSION + 1))
         with pytest.raises(PipelineError, match="format version"):
             load_pipeline(path)
 
@@ -219,12 +242,9 @@ class TestArtifactFormat:
         path = save_pipeline(
             _pipeline_for(model, tiny_vocab, tiny_encoder, tiny_dataset),
             tmp_path / "artifact")
-        manifest_path = os.path.join(path, MANIFEST_FILE)
-        with open(manifest_path) as handle:
-            manifest = json.load(handle)
-        manifest["model"]["name"] = "not_registered_here"
-        with open(manifest_path, "w") as handle:
-            json.dump(manifest, handle)
+        _rewrite_manifest(
+            path,
+            lambda m: m["model"].update(name="not_registered_here"))
         with pytest.raises(PipelineError, match="register_model"):
             load_pipeline(path)
 
