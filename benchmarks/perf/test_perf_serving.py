@@ -1,0 +1,305 @@
+"""Fault-tolerant serving tier under open-loop load, with a chaos lane.
+
+The load generator is **open-loop**: requests arrive on a fixed schedule
+(`rate` per second) whether or not earlier ones finished, which is how real
+traffic behaves and the only shape that exposes queueing collapse — a
+closed-loop driver would politely slow down with the server.  Each staged
+ramp submits at a higher arrival rate and records the latency distribution
+(p50/p95/p99), sustained throughput, and the shed/expired/redispatch
+counters from the server's ledger into ``BENCH_serving.json``.
+
+The chaos lane SIGKILLs a worker mid-ramp and holds the pool to its
+contract: every ticket resolves (zero lost), the p99 spike stays bounded by
+the respawn budget, and every returned probability is bit-identical to a
+single-process :class:`repro.serve.Predictor` replaying the same batch
+compositions.
+
+The scaling lane compares the multi-process pool against the in-process
+``MicroBatcher``.  Its >=2x gate is asserted only when the machine has at
+least 3 cores (two workers plus the dispatcher need real parallelism);
+on smaller boxes the honest numbers are recorded without the gate.
+
+Run the measured lanes with ``pytest benchmarks/perf --run-perf -q -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import record_bench
+from _perf_workload import MAX_LENGTH, PLM_DIM, _corpus
+
+from repro.encoders import FrozenPretrainedEncoder
+from repro.models import ModelConfig, build_model
+from repro.reliability import FaultPlan
+from repro.serve import (
+    Pipeline,
+    Server,
+    ServerConfig,
+    ServerOverloaded,
+    load_pipeline,
+)
+from repro.tensor import default_dtype
+
+STAGES = (60.0, 120.0, 240.0)   # arrival rates, requests/second
+STAGE_REQUESTS = 72             # submissions per stage
+_ARTIFACT = None
+
+
+def _artifact() -> str:
+    """The perf-corpus pipeline saved once to a scratch directory."""
+    global _ARTIFACT
+    if _ARTIFACT is None:
+        dataset, vocab = _corpus()
+        with default_dtype("float32"):
+            encoder = FrozenPretrainedEncoder(len(vocab), output_dim=PLM_DIM, seed=3)
+            config = ModelConfig(plm_dim=PLM_DIM, num_domains=dataset.num_domains,
+                                 seed=0)
+            model = build_model("textcnn_s", config)
+        pipeline = Pipeline.from_training(model, vocab, encoder,
+                                          max_length=MAX_LENGTH,
+                                          domain_names=dataset.domain_names)
+        _ARTIFACT = os.path.join(tempfile.mkdtemp(prefix="repro-bench-"),
+                                 "detector")
+        pipeline.save(_ARTIFACT)
+    return _ARTIFACT
+
+
+def _requests(count: int):
+    dataset, _ = _corpus()
+    items = dataset.items
+    texts = [items[i % len(items)].text for i in range(count)]
+    domains = [items[i % len(items)].domain for i in range(count)]
+    return texts, domains
+
+
+def _percentiles(latencies_ms):
+    ordered = np.sort(np.asarray(latencies_ms, dtype=np.float64))
+    return {f"p{q}": round(float(np.percentile(ordered, q)), 2)
+            for q in (50, 95, 99)}
+
+
+def _run_stage(server, rate_hz: float, count: int, *, kill_at: int | None = None):
+    """Submit ``count`` requests open-loop at ``rate_hz``; drain; measure.
+
+    ``kill_at`` SIGKILLs the pool's first worker right after that submission
+    index — the chaos lane's mid-ramp fault.
+    """
+    texts, domains = _requests(count)
+    interval = 1.0 / rate_hz
+    tickets, shed = [], 0
+    start = time.perf_counter()
+    for index in range(count):
+        target = start + index * interval
+        now = time.perf_counter()
+        if target > now:
+            time.sleep(target - now)
+        try:
+            tickets.append(server.submit_ticket(texts[index],
+                                                domain=domains[index]))
+        except ServerOverloaded:
+            shed += 1
+        if kill_at is not None and index == kill_at:
+            os.kill(server.worker_pids()[0], signal.SIGKILL)
+    assert server.drain(120.0), "queue failed to drain after the ramp"
+    elapsed = time.perf_counter() - start
+    results = [ticket.result(timeout=10.0) for ticket in tickets]
+    served = [r for r in results if r.ok]
+    return {
+        "rate_hz": rate_hz,
+        "offered": count,
+        "served": len(served),
+        "shed": shed,
+        "errors": len(results) - len(served),
+        "throughput_rps": round(len(served) / elapsed, 1),
+        "latency_ms": _percentiles([r.latency_ms for r in served]),
+    }, tickets
+
+
+@pytest.mark.perf
+def test_serving_staged_ramps():
+    """Three arrival-rate ramps against a healthy 2-worker pool."""
+    config = ServerConfig(workers=2, max_batch=16, max_latency_ms=5.0,
+                          queue_high_water=1024)
+    stages = []
+    with Server(_artifact(), config) as server:
+        assert server.wait_ready(120.0)
+        _run_stage(server, 50.0, 16)                     # warm-up
+        for rate in STAGES:
+            stage, _ = _run_stage(server, rate, STAGE_REQUESTS)
+            stages.append(stage)
+        ledger = server.stats.snapshot()
+
+    entries = [{
+        "name": f"serving/ramp_{int(stage['rate_hz'])}rps",
+        "throughput_rps": stage["throughput_rps"],
+        "latency_ms": stage["latency_ms"],
+        "offered": stage["offered"],
+        "served": stage["served"],
+        "shed": stage["shed"],
+        "description": f"open-loop arrival at {stage['rate_hz']:.0f} req/s, "
+                       "2 workers",
+    } for stage in stages]
+    entries.append({
+        "name": "serving/ledger",
+        "description": "server counters accumulated over the ramp lane",
+        **{key: ledger[key] for key in ("submitted", "served", "shed",
+                                        "expired", "worker_deaths",
+                                        "worker_restarts", "redispatched")},
+    })
+    path = record_bench("serving", entries)
+    for stage in stages:
+        lat = stage["latency_ms"]
+        print(f"serving/ramp {stage['rate_hz']:6.0f} rps offered -> "
+              f"{stage['throughput_rps']:7.1f} rps served   "
+              f"p50={lat['p50']:.1f} p95={lat['p95']:.1f} p99={lat['p99']:.1f} ms")
+    print(f"-> {path}")
+    assert all(stage["served"] == stage["offered"] for stage in stages)
+
+
+@pytest.mark.perf
+def test_serving_chaos_worker_kill_mid_ramp():
+    """SIGKILL one of two workers mid-ramp: zero lost, bounded p99, parity."""
+    config = ServerConfig(workers=2, max_batch=16, max_latency_ms=5.0,
+                          queue_high_water=1024, record_batches=True)
+    with Server(_artifact(), config) as server:
+        assert server.wait_ready(120.0)
+        healthy, _ = _run_stage(server, 120.0, STAGE_REQUESTS)
+        chaos, tickets = _run_stage(server, 120.0, STAGE_REQUESTS,
+                                    kill_at=STAGE_REQUESTS // 3)
+        ledger = server.stats.snapshot()
+
+        # Zero lost tickets: every chaos-lane submission came back served.
+        assert chaos["served"] == chaos["offered"], chaos
+        assert ledger["worker_deaths"] >= 1
+        assert ledger["worker_restarts"] >= 1
+
+        # Bounded p99 spike: the detour through death-detection + respawn +
+        # re-dispatch may cost up to the supervision budget, never more.
+        spike_ms = chaos["latency_ms"]["p99"] - healthy["latency_ms"]["p99"]
+        assert spike_ms < 10_000.0, f"p99 spike {spike_ms:.0f}ms unbounded"
+
+        # Bit parity: replay the exact batch compositions the workers scored.
+        reference = load_pipeline(_artifact()).predictor()
+        by_ticket = {ticket.id: ticket for ticket in tickets}
+        checked = 0
+        for record in server.batch_records:
+            expected = reference.predict(record["texts"],
+                                         domains=record["domains"])
+            for ticket_id, prediction in zip(record["tickets"], expected):
+                ticket = by_ticket.get(ticket_id)
+                if ticket is None:      # a batch from the healthy stage
+                    continue
+                assert ticket.prediction.probabilities == prediction.probabilities
+                checked += 1
+        assert checked == len(tickets)
+
+    record_bench("serving", [{
+        "name": "serving/chaos_worker_kill",
+        "healthy_p99_ms": healthy["latency_ms"]["p99"],
+        "chaos_p99_ms": chaos["latency_ms"]["p99"],
+        "p99_spike_ms": round(spike_ms, 2),
+        "worker_deaths": ledger["worker_deaths"],
+        "redispatched": ledger["redispatched"],
+        "lost_tickets": chaos["offered"] - chaos["served"],
+        "bit_parity_checked": checked,
+        "description": "SIGKILL one of 2 workers mid-ramp at 120 req/s",
+    }])
+    print(f"serving/chaos p99 {healthy['latency_ms']['p99']:.1f} -> "
+          f"{chaos['latency_ms']['p99']:.1f} ms, "
+          f"{ledger['redispatched']} batches re-dispatched, 0 lost")
+
+
+@pytest.mark.perf
+def test_serving_multiworker_scaling():
+    """2-worker pool vs the in-process MicroBatcher on the same requests.
+
+    The >=2x gate needs the two workers to actually run in parallel, so it
+    is asserted only on machines with >=3 cores; elsewhere the measured
+    ratio is recorded as-is (IPC overhead makes it <1x on a single core).
+    """
+    count = 192
+    texts, domains = _requests(count)
+
+    predictor = load_pipeline(_artifact()).predictor()
+    with predictor.microbatch(max_batch=16, max_latency_ms=1e9) as queue:
+        for text, domain in zip(texts[:32], domains[:32]):
+            queue.submit(text, domain)          # warm-up
+    start = time.perf_counter()
+    with predictor.microbatch(max_batch=16, max_latency_ms=1e9) as queue:
+        for text, domain in zip(texts, domains):
+            queue.submit(text, domain)
+    single_rps = count / (time.perf_counter() - start)
+
+    config = ServerConfig(workers=2, max_batch=16, max_latency_ms=5.0,
+                          queue_high_water=4096)
+    with Server(_artifact(), config) as server:
+        assert server.wait_ready(120.0)
+        warm = [server.submit_ticket(t, domain=d)
+                for t, d in zip(texts[:32], domains[:32])]
+        assert server.drain(60.0) and all(t.result(10.0).ok for t in warm)
+        start = time.perf_counter()
+        tickets = [server.submit_ticket(t, domain=d)
+                   for t, d in zip(texts, domains)]
+        assert server.drain(120.0)
+        pool_rps = count / (time.perf_counter() - start)
+        assert all(ticket.result(10.0).ok for ticket in tickets)
+
+    cores = os.cpu_count() or 1
+    ratio = pool_rps / single_rps
+    gate_enforced = cores >= 3
+    record_bench("serving", [{
+        "name": "serving/multiworker_scaling",
+        "single_process_rps": round(single_rps, 1),
+        "pool_2workers_rps": round(pool_rps, 1),
+        "ratio": round(ratio, 2),
+        "cpu_cores": cores,
+        "gate_enforced": gate_enforced,
+        "description": "2-worker pool vs in-process MicroBatcher; the 2x "
+                       "gate applies on >=3 cores",
+    }])
+    print(f"serving/scaling single {single_rps:7.1f} rps, pool {pool_rps:7.1f} "
+          f"rps ({ratio:.2f}x, {cores} cores, gate "
+          f"{'on' if gate_enforced else 'off'})")
+    if gate_enforced:
+        assert ratio >= 2.0, (
+            f"2-worker pool {ratio:.2f}x vs single-process; expected >=2x "
+            f"on a {cores}-core machine")
+
+
+# --------------------------------------------------------------------------- #
+# Tier-1 smoke (no perf marker: runs in the default collection)                #
+# --------------------------------------------------------------------------- #
+def test_serving_smoke_pool_survives_kill_with_parity():
+    """Asserts only: 2 workers, one injected kill, bit parity vs Predictor."""
+    texts, domains = _requests(24)
+    plan = FaultPlan(seed=1).fail("serve.worker.step", error=SystemExit,
+                                  after=0, times=1)
+    config = ServerConfig(workers=2, max_batch=8, max_latency_ms=2.0,
+                          record_batches=True, fault_plans={0: plan})
+    with Server(_artifact(), config) as server:
+        assert server.wait_ready(120.0)
+        tickets = [server.submit_ticket(t, domain=d)
+                   for t, d in zip(texts, domains)]
+        assert server.drain(60.0)
+        assert all(ticket.result(10.0).ok for ticket in tickets)
+        snap = server.stats.snapshot()
+        assert snap["served"] == len(texts)
+        assert snap["worker_deaths"] >= 1 and snap["worker_restarts"] >= 1
+        reference = load_pipeline(_artifact()).predictor()
+        by_ticket = {ticket.id: ticket for ticket in tickets}
+        checked = 0
+        for record in server.batch_records:
+            expected = reference.predict(record["texts"],
+                                         domains=record["domains"])
+            for ticket_id, prediction in zip(record["tickets"], expected):
+                ticket = by_ticket[ticket_id]
+                assert ticket.prediction.probabilities == prediction.probabilities
+                checked += 1
+        assert checked == len(tickets)

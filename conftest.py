@@ -31,6 +31,10 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "perf: performance microbenchmark (deselected unless --run-perf is given)")
+    config.addinivalue_line(
+        "markers",
+        "watchdog(seconds): override the per-test wall-clock limit enforced by "
+        "the reliability/serving suites' watchdog fixture")
 
 
 def pytest_collection_modifyitems(config, items):

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli case-study --scale 0.25
     python -m repro.cli export  --out detector --dtdbd --scale 0.1 --epochs 4
     python -m repro.cli predict --pipeline detector --text "breaking dom3_topic17 ..."
+    python -m repro.cli verify  --pipeline detector
+    python -m repro.cli serve   --pipeline detector --workers 2 --port 8080
 
 Every table subcommand prints the corresponding paper-layout table and
 optionally writes the raw results as JSON (``--output``).  ``export`` trains a
@@ -206,6 +208,112 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Check every recorded artifact checksum; one line per file, exit 0/2."""
+    import json
+    import os
+
+    from repro.reliability.durable import sha256_file
+    from repro.serve import CHECKSUMS_FILE
+
+    path = args.pipeline
+    checks_path = os.path.join(path, CHECKSUMS_FILE)
+    if not os.path.isdir(path):
+        print(f"verify: no pipeline artifact at '{path}'", file=sys.stderr)
+        return 2
+    if not os.path.exists(checks_path):
+        print(f"verify: '{path}' records no checksums ({CHECKSUMS_FILE} missing) "
+              "— a legacy artifact; re-export to add integrity checks")
+        return 0
+    try:
+        with open(checks_path, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"verify: cannot read {CHECKSUMS_FILE}: {error}", file=sys.stderr)
+        return 2
+    failures = 0
+    for name, digest in sorted(recorded.items()):
+        target = os.path.join(path, name)
+        if not os.path.exists(target):
+            print(f"  MISSING  {name}  expected sha256={digest[:12]}")
+            failures += 1
+            continue
+        actual = sha256_file(target)
+        if actual == digest:
+            print(f"  ok       {name}  sha256={digest[:12]}")
+        else:
+            print(f"  CORRUPT  {name}  expected sha256={digest[:12]} "
+                  f"actual={actual[:12]}")
+            failures += 1
+    if failures:
+        print(f"verify: {failures} of {len(recorded)} files damaged in '{path}'",
+              file=sys.stderr)
+        return 2
+    print(f"verify: all {len(recorded)} files intact in '{path}'")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve an artifact over HTTP with the supervised worker pool."""
+    import asyncio
+
+    from repro.serve import HttpFrontend, PipelineError, Server, ServerConfig
+
+    config = ServerConfig(workers=args.workers, max_batch=args.max_batch,
+                          max_latency_ms=args.max_latency_ms,
+                          queue_high_water=args.queue_high_water,
+                          default_deadline_ms=args.deadline_ms)
+    server = Server(args.pipeline, config)
+    try:
+        server.start()
+    except PipelineError as error:
+        print(f"serve: {' '.join(str(error).split())}", file=sys.stderr)
+        return 2
+    try:
+        if not server.wait_ready(60.0):
+            print("serve: workers did not become ready within 60s", file=sys.stderr)
+            server.stop()
+            return 2
+    except RuntimeError as error:  # a worker reported a fatal startup error
+        print(f"serve: {' '.join(str(error).split())}", file=sys.stderr)
+        server.stop()
+        return 2
+
+    async def run() -> None:
+        import signal as signal_module
+
+        frontend = HttpFrontend(server, host=args.host, port=args.port)
+        port = await frontend.start()
+        print(f"[serving {server.model_name} ({server.dtype}) at "
+              f"http://{args.host}:{port} — POST /predict, GET /health, "
+              f"GET /stats; {args.workers} workers; Ctrl-C to stop]")
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        try:
+            # SIGTERM (the deployment kill signal) drains like Ctrl-C does.
+            loop.add_signal_handler(signal_module.SIGTERM, stopping.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+        serve_task = asyncio.ensure_future(frontend.serve_forever())
+        stop_task = asyncio.ensure_future(stopping.wait())
+        try:
+            await asyncio.wait({serve_task, stop_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            await frontend.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\n[draining and shutting down]")
+    finally:
+        server.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -263,6 +371,31 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--output", type=str, default=None,
                          help="write raw predictions to this JSON file")
     predict.set_defaults(handler=cmd_predict)
+
+    verify = subparsers.add_parser(
+        "verify", help="check an exported pipeline's checksums (exit 0/2)")
+    verify.add_argument("--pipeline", type=str, required=True,
+                        help="artifact directory written by 'export'")
+    verify.set_defaults(handler=cmd_verify)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve an exported pipeline over HTTP (worker pool)")
+    serve.add_argument("--pipeline", type=str, required=True,
+                       help="artifact directory written by 'export'")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks a free one; default: 8080)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes (default: 2)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch width (default: 32)")
+    serve.add_argument("--max-latency-ms", type=float, default=5.0,
+                       help="flush a partial batch after this wait (default: 5)")
+    serve.add_argument("--queue-high-water", type=int, default=256,
+                       help="shed submissions past this queue depth (default: 256)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline (default: none)")
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

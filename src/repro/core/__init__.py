@@ -15,6 +15,7 @@ from repro.core.distill import (
     teacher_forward,
 )
 from repro.core.dtdbd import DTDBDConfig, DTDBDResult, DTDBDTrainer, run_dtdbd_pipeline
+from repro.core.interrupt import TrainingInterrupted, trap_termination
 from repro.core.momentum import (
     ConstantWeightScheduler,
     MomentumWeightScheduler,
@@ -33,6 +34,7 @@ __all__ = [
     "TrainingHistory", "EpochRecord", "EarlyStopping",
     "SnapshotError", "save_snapshot", "load_snapshot", "SNAPSHOT_FORMAT_VERSION",
     "Trainer", "TrainerConfig", "evaluate_model", "collect_features",
+    "TrainingInterrupted", "trap_termination",
     "DATConfig", "DomainAdversarialModel", "train_unbiased_teacher", "train_dat_student",
     "correlation_matrix", "adversarial_debiasing_distillation_loss",
     "domain_knowledge_distillation_loss", "teacher_forward", "TeacherCache",

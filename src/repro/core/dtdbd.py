@@ -45,6 +45,7 @@ from repro.core.snapshot import (
     unpack_model_state,
     unpack_weight_scheduler,
 )
+from repro.core.interrupt import TerminationTrap, TrainingInterrupted, trap_termination
 from repro.core.trainer import Trainer, TrainerConfig, evaluate_model
 from repro.data.loader import DataLoader
 from repro.metrics import EvaluationReport
@@ -82,6 +83,10 @@ class DTDBDConfig:
     snapshot_path: str | None = None
     #: Mid-epoch snapshot cadence in batches (0 = epoch boundaries only).
     snapshot_every: int = 0
+    #: Trap SIGTERM/SIGINT during :meth:`DTDBDTrainer.fit`: finish the
+    #: current batch, snapshot to ``snapshot_path`` and raise
+    #: :class:`repro.core.TrainingInterrupted` instead of dying mid-update.
+    snapshot_on_signal: bool = True
     verbose: bool = False
 
 
@@ -138,6 +143,17 @@ class DTDBDTrainer:
         self._epoch_order: np.ndarray | None = None
         self._train_loader: DataLoader | None = None
         self._pending_loader_state: dict | None = None
+        self._trap: TerminationTrap | None = None
+
+    # ------------------------------------------------------------------ #
+    def _maybe_interrupt(self) -> None:
+        """Honour a trapped SIGTERM/SIGINT at a clean batch boundary."""
+        if self._trap is None or not self._trap.tripped:
+            return
+        if self.config.snapshot_path:
+            self.snapshot(self.config.snapshot_path)
+        raise TrainingInterrupted(self._trap.signal_name,
+                                  self.config.snapshot_path)
 
     # ------------------------------------------------------------------ #
     # Frozen-teacher output caching                                        #
@@ -228,6 +244,7 @@ class DTDBDTrainer:
             self._batch_in_epoch = 0
             self._epoch_losses = []
         for batch in loader.iter_from(self._epoch_order, self._batch_in_epoch):
+            self._maybe_interrupt()
             fault_point("trainer.step", epoch=self._epoch, batch=self._batch_in_epoch)
             self.optimizer.zero_grad()
             loss, _, _ = self._batch_loss(batch, unbiased_cache, clean_cache)
@@ -246,28 +263,34 @@ class DTDBDTrainer:
         return float(np.mean(losses)) if losses else 0.0
 
     def fit(self, train_loader: DataLoader, val_loader: DataLoader | None = None) -> TrainingHistory:
-        while self._epoch < self.config.epochs:
-            epoch = self._epoch
-            train_loss = self.train_epoch(train_loader)
-            record = EpochRecord(epoch=epoch, train_loss=train_loss)
-            if val_loader is not None:
-                report = evaluate_model(self.student, val_loader)
-                record.val_f1 = report.overall_f1
-                record.val_total_bias = report.total
-                record.val_fned = report.fned
-                record.val_fped = report.fped
-                self.scheduler.update(epoch, report.overall_f1, report.total)
-            self.weight_history.append(self.scheduler.weights())
-            record.extras = {"weight_add": self.scheduler.weight_add,
-                             "weight_dkd": self.scheduler.weight_dkd}
-            self.history.append(record)
-            self._epoch += 1
-            if self.config.verbose:
-                print(f"[DTDBD] epoch {epoch}: loss={train_loss:.4f} "
-                      f"F1={record.val_f1} total={record.val_total_bias} "
-                      f"w_ADD={self.scheduler.weight_add:.2f}")
-            if self.config.snapshot_path:
-                self.snapshot(self.config.snapshot_path)
+        with trap_termination(enabled=self.config.snapshot_on_signal) as trap:
+            self._trap = trap
+            try:
+                while self._epoch < self.config.epochs:
+                    self._maybe_interrupt()
+                    epoch = self._epoch
+                    train_loss = self.train_epoch(train_loader)
+                    record = EpochRecord(epoch=epoch, train_loss=train_loss)
+                    if val_loader is not None:
+                        report = evaluate_model(self.student, val_loader)
+                        record.val_f1 = report.overall_f1
+                        record.val_total_bias = report.total
+                        record.val_fned = report.fned
+                        record.val_fped = report.fped
+                        self.scheduler.update(epoch, report.overall_f1, report.total)
+                    self.weight_history.append(self.scheduler.weights())
+                    record.extras = {"weight_add": self.scheduler.weight_add,
+                                     "weight_dkd": self.scheduler.weight_dkd}
+                    self.history.append(record)
+                    self._epoch += 1
+                    if self.config.verbose:
+                        print(f"[DTDBD] epoch {epoch}: loss={train_loss:.4f} "
+                              f"F1={record.val_f1} total={record.val_total_bias} "
+                              f"w_ADD={self.scheduler.weight_add:.2f}")
+                    if self.config.snapshot_path:
+                        self.snapshot(self.config.snapshot_path)
+            finally:
+                self._trap = None
         return self.history
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,119 @@
+"""Graceful shutdown for training runs: snapshot on SIGTERM/SIGINT.
+
+Long training runs live on preemptible machines: the scheduler sends
+``SIGTERM``, an operator presses Ctrl-C, the batch system reaps the job.
+Python's default response — a ``KeyboardInterrupt`` mid-GEMM or an abrupt
+exit — strands the run wherever it happened to be, and the resume story of
+:meth:`repro.core.Trainer.snapshot` only helps if a snapshot was recently
+written.
+
+:func:`trap_termination` converts those signals into a *cooperative* stop:
+the handler only sets a flag, the training loop checks it at the next batch
+boundary (a clean point: no half-applied optimiser update, no partially
+consumed RNG stream), writes a final snapshot through the existing
+``snapshot()`` path, and raises :class:`TrainingInterrupted` naming the
+snapshot to resume from.  A second signal while the first is being honoured
+falls through to the previous handler (normally: die now) — the operator
+keeps an escalation path.
+
+Signal handlers can only be installed from the main thread; elsewhere the
+trap degrades to an inert object that never trips, and the signals keep
+their previous behaviour.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class TrainingInterrupted(RuntimeError):
+    """Raised at a batch boundary after a termination signal was trapped.
+
+    ``snapshot_path`` names the final snapshot (``None`` when the trainer
+    has no ``snapshot_path`` configured), ``signal_name`` the signal that
+    stopped the run.
+    """
+
+    def __init__(self, signal_name: str, snapshot_path: str | None):
+        self.signal_name = signal_name
+        self.snapshot_path = snapshot_path
+        if snapshot_path:
+            hint = (f"a final snapshot was written to '{snapshot_path}' — "
+                    "resume with trainer.resume(path)")
+        else:
+            hint = ("no snapshot_path is configured, so nothing was saved; "
+                    "set TrainerConfig.snapshot_path to make runs resumable")
+        super().__init__(f"training interrupted by {signal_name}; {hint}")
+
+
+class TerminationTrap:
+    """Flag set by the signal handler, polled by the training loop."""
+
+    __slots__ = ("_signum",)
+
+    def __init__(self):
+        self._signum: int | None = None
+
+    @property
+    def tripped(self) -> bool:
+        return self._signum is not None
+
+    @property
+    def signal_name(self) -> str:
+        if self._signum is None:
+            return ""
+        try:
+            return signal.Signals(self._signum).name
+        except ValueError:  # pragma: no cover - exotic signal number
+            return f"signal {self._signum}"
+
+    def trip(self, signum: int) -> None:
+        self._signum = signum
+
+
+@contextmanager
+def trap_termination(
+        signals: tuple = (signal.SIGTERM, signal.SIGINT),
+        enabled: bool = True) -> Iterator[TerminationTrap]:
+    """Trap ``signals`` for the duration of the block; yields the trap.
+
+    The first delivery of a trapped signal sets the flag and returns — the
+    loop decides when to stop.  A second delivery is forwarded to the
+    previously installed handler, so repeated Ctrl-C still kills a loop
+    that is too slow to honour the first.  Previous handlers are restored
+    on exit no matter how the block ends.
+    """
+    trap = TerminationTrap()
+    if not enabled or threading.current_thread() is not threading.main_thread():
+        yield trap
+        return
+    previous: dict[int, object] = {}
+
+    def handler(signum, frame):
+        if trap.tripped:
+            old = previous.get(signum)
+            if callable(old):
+                old(signum, frame)
+            elif old == signal.SIG_DFL:
+                # Restore and re-deliver: the default action (terminate) runs.
+                signal.signal(signum, signal.SIG_DFL)
+                signal.raise_signal(signum)
+            return
+        trap.trip(signum)
+
+    try:
+        for signum in signals:
+            previous[signum] = signal.signal(signum, handler)
+    except (ValueError, OSError):  # pragma: no cover - unsupported platform
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        yield trap
+        return
+    try:
+        yield trap
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.callbacks import EarlyStopping, EpochRecord, TrainingHistory
+from repro.core.interrupt import TerminationTrap, TrainingInterrupted, trap_termination
 from repro.core.snapshot import (
     load_snapshot,
     module_rng_states,
@@ -50,6 +51,10 @@ class TrainerConfig:
     snapshot_path: str | None = None
     #: Mid-epoch snapshot cadence in batches (0 = epoch boundaries only).
     snapshot_every: int = 0
+    #: Trap SIGTERM/SIGINT during :meth:`Trainer.fit`: finish the current
+    #: batch, write a final snapshot to ``snapshot_path`` and raise
+    #: :class:`repro.core.TrainingInterrupted` instead of dying mid-update.
+    snapshot_on_signal: bool = True
     verbose: bool = False
 
 
@@ -118,8 +123,18 @@ class Trainer:
         self._epoch_order: np.ndarray | None = None
         self._train_loader: DataLoader | None = None
         self._pending_loader_state: dict | None = None
+        self._trap: TerminationTrap | None = None
 
     # ------------------------------------------------------------------ #
+    def _maybe_interrupt(self) -> None:
+        """Honour a trapped SIGTERM/SIGINT at a clean batch boundary."""
+        if self._trap is None or not self._trap.tripped:
+            return
+        if self.config.snapshot_path:
+            self.snapshot(self.config.snapshot_path)
+        raise TrainingInterrupted(self._trap.signal_name,
+                                  self.config.snapshot_path)
+
     def _training_step(self, batch) -> float:
         """One optimiser update; returns the batch loss (override point)."""
         self.optimizer.zero_grad()
@@ -146,6 +161,7 @@ class Trainer:
             self._batch_in_epoch = 0
             self._epoch_losses = []
         for batch in loader.iter_from(self._epoch_order, self._batch_in_epoch):
+            self._maybe_interrupt()
             fault_point("trainer.step", epoch=self._epoch, batch=self._batch_in_epoch)
             self._epoch_losses.append(self._training_step(batch))
             self._batch_in_epoch += 1
@@ -173,23 +189,34 @@ class Trainer:
         Counts from the trainer's epoch cursor, so a trainer restored with
         :meth:`resume` continues where the crashed run stopped rather than
         starting over.
+
+        With ``config.snapshot_on_signal`` (the default), SIGTERM/SIGINT
+        during the run stop it at the next batch boundary: a final snapshot
+        goes to ``config.snapshot_path`` and :class:`TrainingInterrupted`
+        is raised, so a preempted job resumes instead of starting over.
         """
-        while self._epoch < self.config.epochs and not self._stopped:
-            epoch = self._epoch
-            train_loss = self.train_epoch(train_loader)
-            record = EpochRecord(epoch=epoch, train_loss=train_loss)
-            self._validate(record, val_loader)
-            self.history.append(record)
-            self._epoch += 1
-            if self.config.verbose:
-                bias = f", bias={record.val_total_bias:.3f}" if record.val_total_bias is not None else ""
-                f1 = f", F1={record.val_f1:.3f}" if record.val_f1 is not None else ""
-                print(f"[{self.model.name}] epoch {epoch}: loss={train_loss:.4f}{f1}{bias}")
-            if (self._stopper is not None and record.val_f1 is not None
-                    and self._stopper.update(record.val_f1)):
-                self._stopped = True
-            if self.config.snapshot_path:
-                self.snapshot(self.config.snapshot_path)
+        with trap_termination(enabled=self.config.snapshot_on_signal) as trap:
+            self._trap = trap
+            try:
+                while self._epoch < self.config.epochs and not self._stopped:
+                    self._maybe_interrupt()
+                    epoch = self._epoch
+                    train_loss = self.train_epoch(train_loader)
+                    record = EpochRecord(epoch=epoch, train_loss=train_loss)
+                    self._validate(record, val_loader)
+                    self.history.append(record)
+                    self._epoch += 1
+                    if self.config.verbose:
+                        bias = f", bias={record.val_total_bias:.3f}" if record.val_total_bias is not None else ""
+                        f1 = f", F1={record.val_f1:.3f}" if record.val_f1 is not None else ""
+                        print(f"[{self.model.name}] epoch {epoch}: loss={train_loss:.4f}{f1}{bias}")
+                    if (self._stopper is not None and record.val_f1 is not None
+                            and self._stopper.update(record.val_f1)):
+                        self._stopped = True
+                    if self.config.snapshot_path:
+                        self.snapshot(self.config.snapshot_path)
+            finally:
+                self._trap = None
         return self.history
 
     # ------------------------------------------------------------------ #

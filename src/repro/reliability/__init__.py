@@ -13,6 +13,13 @@ artifacts, flaky I/O, mid-epoch crashes, poisoned requests) is handled here.
 * :mod:`repro.reliability.durable` — atomic temp-file + fsync + ``os.replace``
   writes and the SHA-256 checksums recorded in checkpoint headers, pipeline
   ``checksums.json`` and training snapshots.
+* :mod:`repro.reliability.circuit` — :class:`CircuitBreaker`
+  (closed/open/half-open with seeded probe jitter) converting a persistently
+  failing dependency into fast :class:`CircuitOpen` rejections; the serving
+  worker pool wraps the frozen-encoder dependency with one.
+* :mod:`repro.reliability.watchdog` — ``SIGALRM`` wall-clock guard turning a
+  hang into a readable :class:`WatchdogTimeout`; the chaos and server test
+  suites run every test under one.
 
 Downstream: :func:`repro.nn.save_checkpoint` / ``load_checkpoint`` refuse
 corrupt archives, ``repro.serve`` artifacts verify end-to-end, and
@@ -20,6 +27,7 @@ corrupt archives, ``repro.serve`` artifacts verify end-to-end, and
 ``tests/reliability/`` chaos suite).
 """
 
+from repro.reliability.circuit import CircuitBreaker, CircuitOpen
 from repro.reliability.durable import (
     atomic_write_bytes,
     atomic_write_text,
@@ -36,13 +44,17 @@ from repro.reliability.faults import (
     active_plan,
     fault_point,
     inject,
+    install_plan,
 )
 from repro.reliability.retry import DeadlineExceeded, RetryPolicy, default_read_policy
+from repro.reliability.watchdog import WatchdogTimeout, watchdog
 
 __all__ = [
     "FaultPlan", "FaultRule", "FaultEvent", "InjectedFault",
-    "inject", "fault_point", "active_plan",
+    "inject", "fault_point", "active_plan", "install_plan",
     "RetryPolicy", "DeadlineExceeded", "default_read_policy",
+    "CircuitBreaker", "CircuitOpen",
+    "watchdog", "WatchdogTimeout",
     "atomic_writer", "atomic_write_bytes", "atomic_write_text",
     "sha256_bytes", "sha256_file", "fsync_directory",
 ]

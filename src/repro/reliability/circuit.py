@@ -1,0 +1,199 @@
+"""Circuit breaking: stop hammering a dependency that has stopped answering.
+
+A :class:`repro.reliability.RetryPolicy` absorbs *transient* faults — one
+flaky read costs one backoff sleep.  A *persistently* failing dependency (a
+remote encoder backend that is down, a filesystem that went read-only) turns
+that same policy into a liability: every caller burns its full retry budget
+and deadline discovering the same outage.  :class:`CircuitBreaker` sits in
+front of such a dependency and converts sustained failure into fast, readable
+rejections:
+
+* **closed** (healthy): calls pass through; consecutive failures are counted.
+* **open** (tripped): after ``failure_threshold`` consecutive failures every
+  call raises :class:`CircuitOpen` immediately — no call, no retry, no sleep —
+  until a cooldown elapses.
+* **half-open** (probing): after the cooldown exactly one call is let through
+  as a probe.  Success closes the circuit; failure re-opens it for another
+  cooldown.
+
+The cooldown is jittered multiplicatively from a *seeded* RNG (derived from
+:func:`repro.utils.get_global_seed` unless an explicit seed is given), the
+same determinism contract as :class:`~repro.reliability.RetryPolicy` and
+:class:`~repro.reliability.FaultPlan`: a chaos run that trips the breaker
+replays its probe schedule exactly.
+
+The serving tier (``repro.serve.server``) installs a breaker around the
+frozen-encoder dependency in every worker, so a dead encoder backend degrades
+the pool to fast rejections instead of deadline-burning retries — see
+``tests/reliability/test_circuit.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.utils import get_global_seed
+
+
+class CircuitOpen(RuntimeError):
+    """Raised instead of calling through a circuit that is currently open."""
+
+
+class CircuitBreaker:
+    """Count consecutive failures of a dependency; trip, cool down, probe.
+
+    Parameters
+    ----------
+    name:
+        Used in :class:`CircuitOpen` messages ("circuit 'encoder' is open").
+    failure_threshold:
+        Consecutive failures (while closed) that trip the circuit.
+    cooldown_s:
+        Base open-state duration before a probe is allowed.
+    probe_jitter:
+        +/- fraction of each cooldown drawn from the seeded jitter stream, so
+        fleets of breakers do not probe in lockstep.
+    failure_on:
+        Exception classes counted as dependency failures (and re-raised).
+        Anything else propagates without touching the failure count.
+    seed:
+        Jitter stream seed; ``None`` derives it from the experiment-wide seed.
+    clock:
+        Injectable monotonic clock (tests step it manually).
+    """
+
+    def __init__(self, name: str = "dependency", failure_threshold: int = 5,
+                 cooldown_s: float = 0.5, probe_jitter: float = 0.25,
+                 failure_on: tuple[type[BaseException], ...] = (Exception,),
+                 seed: int | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        if not 0.0 <= probe_jitter <= 1.0:
+            raise ValueError("probe_jitter must be in [0, 1]")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.probe_jitter = probe_jitter
+        self.failure_on = failure_on
+        self._clock = clock
+        self._rng = np.random.default_rng(
+            seed if seed is not None else get_global_seed())
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._current_cooldown = 0.0
+        self._probe_in_flight = False
+        self._last_error = ""
+        #: lifetime counters, reported by :meth:`snapshot`
+        self.calls = 0
+        self.successes = 0
+        self.failures = 0
+        self.rejections = 0
+        self.opened = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (cooldown-aware)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self._current_cooldown):
+            self._state = "half_open"
+            self._probe_in_flight = False
+
+    def _open_locked(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        jitter = 1.0 + self.probe_jitter * (2.0 * self._rng.random() - 1.0)
+        self._current_cooldown = self.cooldown_s * jitter
+        self._probe_in_flight = False
+        self.opened += 1
+
+    # ------------------------------------------------------------------ #
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` through the breaker.
+
+        Raises :class:`CircuitOpen` without calling ``fn`` while the circuit
+        is open (or while another probe is already in flight half-open).
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == "open":
+                self.rejections += 1
+                remaining = self._current_cooldown - (self._clock() - self._opened_at)
+                raise CircuitOpen(
+                    f"circuit '{self.name}' is open after "
+                    f"{self.failure_threshold} consecutive failures "
+                    f"(last: {self._last_error}); next probe in "
+                    f"{max(remaining, 0.0):.3f}s")
+            if self._state == "half_open":
+                if self._probe_in_flight:
+                    self.rejections += 1
+                    raise CircuitOpen(
+                        f"circuit '{self.name}' is half-open with a probe "
+                        "already in flight; rejecting until it resolves")
+                self._probe_in_flight = True
+            self.calls += 1
+        try:
+            result = fn(*args, **kwargs)
+        except self.failure_on as error:
+            with self._lock:
+                self.failures += 1
+                self._last_error = f"{type(error).__name__}: {error}"
+                if self._state == "half_open":
+                    self._open_locked()          # failed probe: re-open
+                else:
+                    self._consecutive_failures += 1
+                    if self._consecutive_failures >= self.failure_threshold:
+                        self._open_locked()
+            raise
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._state = "closed"
+                self._probe_in_flight = False
+        return result
+
+    def wrap(self, fn: Callable) -> Callable:
+        """A callable running ``fn`` through this breaker."""
+
+        def wrapped(*args, **kwargs):
+            return self.call(fn, *args, **kwargs)
+
+        return wrapped
+
+    def reset(self) -> None:
+        """Force the circuit closed and clear the failure count (not counters)."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def snapshot(self) -> dict:
+        """A JSON-able view for health endpoints and diagnostics."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "calls": self.calls,
+                "successes": self.successes,
+                "failures": self.failures,
+                "rejections": self.rejections,
+                "opened": self.opened,
+                "last_error": self._last_error,
+            }

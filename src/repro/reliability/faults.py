@@ -166,6 +166,21 @@ def active_plan() -> "FaultPlan | None":
     return _ACTIVE
 
 
+def install_plan(plan: "FaultPlan | None") -> None:
+    """Install ``plan`` unconditionally (or clear it with ``None``).
+
+    :func:`inject` is the right tool inside one process — it scopes the plan
+    to a ``with`` block and refuses to nest.  Worker *processes* have no such
+    scope: the serving pool ships a pickled plan to each spawned worker, whose
+    entire lifetime is the chaos experiment, so the worker installs it once at
+    startup and never uninstalls it.  Rule counters start fresh in every
+    worker (each gets its own copy of the plan), which is what makes
+    per-worker schedules like "die on your 3rd batch" deterministic.
+    """
+    global _ACTIVE
+    _ACTIVE = plan
+
+
 @contextmanager
 def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
     """Install ``plan`` for the duration of the ``with`` block.

@@ -1,0 +1,61 @@
+"""Wall-clock watchdog: turn a hang into a readable failure.
+
+A deadlocked worker, a queue that never drains or a signal handler that never
+fires are the worst kind of test failure — tier-1 just stops, with no message
+and no traceback.  :func:`watchdog` bounds a block of code by wall-clock time
+using ``SIGALRM``: if the block is still running when the timer fires, a
+:class:`WatchdogTimeout` is raised *inside* it with a readable message, so
+pytest reports a normal failure (with the hanging frame in the traceback)
+instead of hanging forever.
+
+Used as an autouse fixture by ``tests/reliability`` and
+``tests/serve_server`` (the suites that spawn processes and block on queues).
+``SIGALRM`` only exists on Unix and only the main thread can receive it; off
+the main thread (or on platforms without ``setitimer``) the watchdog degrades
+to a no-op rather than failing the caller.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class WatchdogTimeout(RuntimeError):
+    """The watchdogged block exceeded its wall-clock budget."""
+
+
+def _can_arm() -> bool:
+    return (hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextmanager
+def watchdog(seconds: float, message: str = "") -> Iterator[None]:
+    """Raise :class:`WatchdogTimeout` if the block runs longer than ``seconds``.
+
+    The previous ``SIGALRM`` handler and any pending itimer are restored on
+    exit, so nesting works (the inner watchdog temporarily masks the outer
+    one — the outer budget keeps counting and fires on restore if overrun).
+    """
+    if seconds <= 0:
+        raise ValueError("watchdog budget must be positive")
+    if not _can_arm():  # pragma: no cover - platform/thread dependent
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        detail = f" ({message})" if message else ""
+        raise WatchdogTimeout(
+            f"wall-clock watchdog fired after {seconds:g}s{detail}; "
+            "the block is deadlocked or far over budget")
+
+    previous_handler = signal.signal(signal.SIGALRM, on_alarm)
+    previous_delay, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, previous_delay or 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)

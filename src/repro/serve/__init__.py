@@ -18,6 +18,15 @@ servable artifact and answers "is this news item fake?" from raw text:
 * :class:`MicroBatcher` — a dynamic micro-batching queue
   (``predictor.microbatch(max_batch, max_latency_ms)``) that amortises many
   small requests into full-width batches.
+* :class:`Server` — the fault-tolerant tier above: an asyncio front-end
+  (plus :class:`HttpFrontend`, a stdlib-only HTTP endpoint) feeding a shared
+  micro-batch queue drained by a supervised multi-process worker pool, with
+  backpressure (:class:`ServerOverloaded`), per-request deadlines, circuit
+  breaking around the frozen encoder, and crash recovery that re-dispatches
+  a dead worker's batches so no ticket is ever lost.
+* :class:`ServeStats` — the one queue ledger (served / failed / rejected /
+  shed / expired ...) shared by :class:`MicroBatcher` and :class:`Server`,
+  reported by both ``health()`` endpoints.
 
 Quickstart (see ``examples/serve_quickstart.py`` for the full tour)::
 
@@ -45,13 +54,18 @@ from repro.serve.pipeline import (
     save_pipeline,
     verify_pipeline,
 )
+from repro.serve.http import HttpFrontend
 from repro.serve.predictor import Prediction, Predictor
+from repro.serve.server import Server, ServerConfig, ServerOverloaded, ServerTicket
+from repro.serve.stats import ServeStats
 
 __all__ = [
     "Pipeline", "PipelineError", "save_pipeline", "load_pipeline", "export_pipeline",
     "verify_pipeline",
     "Predictor", "Prediction",
     "MicroBatcher", "Ticket",
+    "Server", "ServerConfig", "ServerOverloaded", "ServerTicket", "ServeStats",
+    "HttpFrontend",
     "PIPELINE_FORMAT_VERSION", "DEFAULT_FEATURE_CHANNELS",
     "MANIFEST_FILE", "WEIGHTS_FILE", "VOCAB_FILE", "CHECKSUMS_FILE",
 ]

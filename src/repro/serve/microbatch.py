@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING
 
+from repro.serve.stats import ServeStats
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.serve.predictor import Prediction, Predictor
 
@@ -64,12 +66,34 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_latency_ms = max_latency_ms
         self._pending: list[Ticket] = []
-        #: flush statistics: how many batches went out and why
-        self.batches_flushed = 0
-        self.items_flushed = 0
-        #: items that resolved to an error Prediction instead of a score
-        self.items_errored = 0
-        self.flush_reasons = {"full": 0, "latency": 0, "drain": 0}
+        #: the unified queue ledger shared with :class:`repro.serve.Server`
+        self.stats = ServeStats()
+
+    # ------------------------------------------------------------------ #
+    # Legacy counter views (the original MicroBatcher attributes), kept so
+    # existing callers and tests read the same numbers off the shared ledger.
+    @property
+    def batches_flushed(self) -> int:
+        return self.stats.batches
+
+    @property
+    def items_flushed(self) -> int:
+        return self.stats.served + self.stats.failed
+
+    @property
+    def items_errored(self) -> int:
+        """Items that resolved to an error Prediction instead of a score."""
+        return self.stats.failed
+
+    @property
+    def flush_reasons(self) -> dict[str, int]:
+        return self.stats.flush_reasons
+
+    def health(self) -> dict:
+        """The queue's ledger plus the predictor's own liveness report."""
+        report = self.predictor.health()
+        report["queue"] = self.stats.snapshot()
+        return report
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -86,12 +110,18 @@ class MicroBatcher:
         """
         problem = self.predictor.validate_text(text)
         if problem is not None:
+            self.stats.count("rejected")
             raise ValueError(f"invalid request: {problem}")
-        domain = self.predictor._domain_index(domain)
+        try:
+            domain = self.predictor._domain_index(domain)
+        except KeyError:
+            self.stats.count("rejected")
+            raise
         if self._pending and self._overdue():
             self._flush("latency")
         ticket = Ticket(text, domain)
         self._pending.append(ticket)
+        self.stats.count("submitted")
         if len(self._pending) >= self.max_batch:
             self._flush("full")
         return ticket
@@ -123,7 +153,7 @@ class MicroBatcher:
                        f"{drain_error}")
             for ticket in stranded:
                 ticket._result = Prediction.failure(message)
-                self.items_errored += 1
+                self.stats.count("failed")
 
     # ------------------------------------------------------------------ #
     def _overdue(self) -> bool:
@@ -148,8 +178,5 @@ class MicroBatcher:
         for ticket, prediction in zip(batch, predictions):
             prediction.latency_ms = (finished - ticket.submitted_at) * 1e3
             ticket._result = prediction
-            if prediction.error is not None:
-                self.items_errored += 1
-        self.batches_flushed += 1
-        self.items_flushed += len(batch)
-        self.flush_reasons[reason] += 1
+            self.stats.record_outcome(prediction.error is None)
+        self.stats.record_flush(reason, len(batch))

@@ -29,6 +29,7 @@ from repro.data.dataset import FAKE_LABEL, LABEL_NAMES, encode_texts
 from repro.data.loader import Batch
 from repro.data.tokenizer import WhitespaceTokenizer
 from repro.encoders.features import emotion_features_batch, style_features_batch
+from repro.reliability.circuit import CircuitBreaker
 from repro.reliability.faults import fault_point
 from repro.reliability.retry import RetryPolicy
 from repro.serve.microbatch import MicroBatcher
@@ -101,7 +102,8 @@ class Predictor:
     def __init__(self, pipeline: Pipeline, default_domain: int | str | None = 0,
                  bucket_size: int | None = None, use_fused: bool = True,
                  max_text_chars: int = 100_000,
-                 encoder_retry: RetryPolicy | None = None):
+                 encoder_retry: RetryPolicy | None = None,
+                 encoder_breaker: "CircuitBreaker | None" = None):
         self.pipeline = pipeline
         self.default_domain = 0  # placeholder so _domain_index(None) resolves
         self.default_domain = self._domain_index(default_domain)
@@ -114,11 +116,19 @@ class Predictor:
         self.max_text_chars = max_text_chars
         # Frozen-encoder calls go through a short transient-error retry; the
         # in-process stand-in never needs it, but remote encoder backends and
-        # the chaos suite exercise the path.
-        self._encode_plm = (encoder_retry
-                            or RetryPolicy(attempts=2, base_delay_s=0.01,
-                                           max_delay_s=0.05)).wrap(
+        # the chaos suite exercise the path.  An optional circuit breaker
+        # wraps the *retried* call, so a persistently failing backend trips
+        # after `failure_threshold` exhausted retry rounds and degrades to
+        # fast CircuitOpen rejections instead of deadline-burning retries
+        # (the serving worker pool installs one per worker).
+        encode = (encoder_retry
+                  or RetryPolicy(attempts=2, base_delay_s=0.01,
+                                 max_delay_s=0.05)).wrap(
             pipeline.encoder.encode)
+        self.encoder_breaker = encoder_breaker
+        if encoder_breaker is not None:
+            encode = encoder_breaker.wrap(encode)
+        self._encode_plm = encode
         self._channel_names = self._resolve_channels(pipeline)
         pipeline.model.eval()
 
@@ -402,6 +412,10 @@ class Predictor:
                 checks["inference"] = "ok"
         except Exception as error:  # noqa: BLE001 - reported, not raised
             checks["inference"] = f"{type(error).__name__}: {error}"
+        if self.encoder_breaker is not None:
+            circuit = self.encoder_breaker.snapshot()
+            checks["encoder_circuit"] = ("ok" if circuit["state"] == "closed"
+                                         else f"circuit {circuit['state']}")
         return {
             "status": ("ok" if all(value == "ok" for value in checks.values())
                        else "degraded"),

@@ -1,0 +1,183 @@
+"""CircuitBreaker: trip on sustained failure, cool down, probe, recover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import CircuitBreaker, CircuitOpen, FaultPlan, inject
+
+
+class FakeClock:
+    """A manually stepped monotonic clock, so cooldowns need no sleeping."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(name="encoder", failure_threshold=3, cooldown_s=1.0,
+                    probe_jitter=0.0, seed=0, clock=clock)
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults), clock
+
+
+def _boom():
+    raise OSError("backend down")
+
+
+class TestStateMachine:
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = _breaker()
+        for _ in range(3):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpen, match="circuit 'encoder' is open"):
+            breaker.call(lambda: "never reached")
+        assert breaker.rejections == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = _breaker()
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        assert breaker.call(lambda: "fine") == "fine"
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        assert breaker.state == "closed"  # 2+2 non-consecutive never trips
+
+    def test_cooldown_transitions_to_half_open_probe(self):
+        breaker, clock = _breaker()
+        for _ in range(3):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        clock.advance(1.01)
+        assert breaker.state == "half_open"
+        assert breaker.call(lambda: "recovered") == "recovered"
+        assert breaker.state == "closed"
+
+    def test_failed_probe_reopens(self):
+        breaker, clock = _breaker()
+        for _ in range(3):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        clock.advance(1.01)
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+        assert breaker.state == "open"
+        assert breaker.opened == 2
+        # A fresh cooldown applies; still rejecting before it elapses.
+        clock.advance(0.5)
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: None)
+
+    def test_open_rejection_names_cause_and_remaining_time(self):
+        breaker, _ = _breaker()
+        for _ in range(3):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        with pytest.raises(CircuitOpen, match="backend down") as excinfo:
+            breaker.call(lambda: None)
+        assert "next probe in" in str(excinfo.value)
+
+    def test_unlisted_exceptions_do_not_count(self):
+        breaker, _ = _breaker(failure_on=(OSError,))
+        for _ in range(5):
+            with pytest.raises(ValueError):
+                breaker.call(lambda: (_ for _ in ()).throw(ValueError("logic bug")))
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+
+    def test_reset_closes_immediately(self):
+        breaker, _ = _breaker()
+        for _ in range(3):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.call(lambda: 42) == 42
+
+
+class TestDeterminism:
+    def test_probe_jitter_is_seeded(self):
+        draws = []
+        for _ in range(2):
+            breaker, _ = _breaker(probe_jitter=0.5, seed=11)
+            for _ in range(3):
+                with pytest.raises(OSError):
+                    breaker.call(_boom)
+            draws.append(breaker._current_cooldown)
+        assert draws[0] == draws[1]
+        different, _ = _breaker(probe_jitter=0.5, seed=12)
+        for _ in range(3):
+            with pytest.raises(OSError):
+                different.call(_boom)
+        assert different._current_cooldown != draws[0]
+        # Jitter stays inside the +/-50% band of the base cooldown.
+        assert 0.5 <= draws[0] <= 1.5
+
+    def test_snapshot_is_json_able_and_complete(self):
+        import json
+
+        breaker, _ = _breaker()
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+        breaker.call(lambda: None)
+        snap = json.loads(json.dumps(breaker.snapshot()))
+        assert snap["state"] == "closed"
+        assert snap["calls"] == 2
+        assert snap["successes"] == 1
+        assert snap["failures"] == 1
+        assert "OSError" in snap["last_error"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_jitter=2.0)
+
+
+class TestPredictorIntegration:
+    def test_sustained_encoder_outage_trips_and_recovers(self, artifact):
+        """The predictor's encoder breaker converts a dead backend into fast
+        rejections, then recovers through a probe once the backend heals."""
+        from repro.reliability import RetryPolicy
+        from repro.serve import load_pipeline
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(name="encoder", failure_threshold=2,
+                                 cooldown_s=10.0, probe_jitter=0.0, seed=0,
+                                 clock=clock)
+        predictor = load_pipeline(artifact).predictor(
+            encoder_breaker=breaker,
+            # Single attempt isolates the breaker from the retry layer.
+            encoder_retry=RetryPolicy(attempts=1))
+        plan = FaultPlan().fail("encoder.encode", times=None,
+                                error=OSError("backend gone"))
+        with inject(plan):
+            for _ in range(2):
+                with pytest.raises(OSError, match="backend gone"):
+                    predictor.predict(["dom1_topic2 some news"])
+        assert breaker.state == "open"
+        # While open, scoring fails fast without touching the encoder.
+        fired_before = plan.fired
+        with pytest.raises(CircuitOpen, match="circuit 'encoder' is open"):
+            predictor.predict(["dom1_topic2 some news"])
+        assert plan.fired == fired_before
+        health = predictor.health()
+        assert "circuit open" in health["checks"]["encoder_circuit"]
+        # Backend heals, cooldown elapses: the probe closes the circuit.
+        clock.advance(10.01)
+        [p] = predictor.predict(["dom1_topic2 some news"])
+        assert p.ok
+        assert breaker.state == "closed"

@@ -97,3 +97,60 @@ class TestPredictSubprocess:
         assert "Traceback" not in result.stderr
         assert result.stderr.startswith("predict: ")
         assert result.stderr.strip().count("\n") == 0
+
+
+class TestVerifySubcommand:
+    """`repro verify`: exit 0 on intact artifacts, 2 with per-file diagnosis."""
+
+    def test_intact_artifact_verifies_clean(self, artifact, capsys):
+        code = cli.main(["verify", "--pipeline", artifact])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all" in out and "files intact" in out
+        # One status line per recorded file, each carrying a digest prefix.
+        ok_lines = [line for line in out.splitlines() if line.startswith("  ok")]
+        assert len(ok_lines) >= 3  # manifest, weights, vocab at minimum
+        assert all("sha256=" in line for line in ok_lines)
+
+    def test_corrupt_file_is_named_with_both_digests(self, artifact, capsys):
+        _flip_byte(os.path.join(artifact, "weights.npz"))
+        code = cli.main(["verify", "--pipeline", artifact])
+        captured = capsys.readouterr()
+        assert code == 2
+        corrupt = [line for line in captured.out.splitlines()
+                   if line.startswith("  CORRUPT")]
+        assert len(corrupt) == 1
+        assert "weights.npz" in corrupt[0]
+        assert "expected sha256=" in corrupt[0] and "actual=" in corrupt[0]
+        assert "1 of" in captured.err and "damaged" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_file_is_reported(self, artifact, capsys):
+        os.remove(os.path.join(artifact, "vocab.json"))
+        code = cli.main(["verify", "--pipeline", artifact])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert any(line.startswith("  MISSING") and "vocab.json" in line
+                   for line in out.splitlines())
+
+    def test_nonexistent_artifact_path(self, tmp_path, capsys):
+        code = cli.main(["verify", "--pipeline", str(tmp_path / "nowhere")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no pipeline artifact" in err
+
+    def test_legacy_artifact_without_checksums_passes_with_note(
+            self, artifact, capsys):
+        os.remove(os.path.join(artifact, "checksums.json"))
+        code = cli.main(["verify", "--pipeline", artifact])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "legacy artifact" in out
+
+    def test_unreadable_checksums_file(self, artifact, capsys):
+        with open(os.path.join(artifact, "checksums.json"), "w") as handle:
+            handle.write("{not json")
+        code = cli.main(["verify", "--pipeline", artifact])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read checksums.json" in err

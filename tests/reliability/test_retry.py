@@ -128,3 +128,87 @@ class TestRetryIntegration:
             [prediction] = predictor.predict(["breaking dom1_topic3 fake_sig_1"])
         assert plan.fired == 1
         assert prediction.label in (0, 1)
+
+
+class TestRetryEdgeCases:
+    """Degenerate budgets, subclass precedence, and replay determinism."""
+
+    def test_zero_deadline_fails_before_any_sleep(self):
+        slept, sleep = _no_sleep()
+        policy = RetryPolicy(attempts=5, base_delay_s=0.01, deadline_s=0.0,
+                             seed=0, sleep=sleep)
+        fn = _flaky(failures=10)
+        with pytest.raises(DeadlineExceeded, match="deadline of 0.000s"):
+            policy.call(fn)
+        assert fn.calls["n"] == 1  # one attempt, zero retries
+        assert slept == []
+
+    def test_negative_deadline_behaves_like_zero(self):
+        slept, sleep = _no_sleep()
+        policy = RetryPolicy(attempts=3, base_delay_s=0.0, jitter=0.0,
+                             deadline_s=-1.0, seed=0, sleep=sleep)
+        with pytest.raises(DeadlineExceeded):
+            policy.call(_flaky(failures=10))
+        assert slept == []
+
+    def test_single_attempt_policy_never_sleeps(self):
+        slept, sleep = _no_sleep()
+        policy = RetryPolicy(attempts=1, seed=0, sleep=sleep)
+        with pytest.raises(OSError):
+            policy.call(_flaky(failures=10))
+        assert slept == []
+        assert list(policy.delays()) == []
+
+    def test_give_up_on_wins_over_retry_on_for_subclasses(self):
+        """FileNotFoundError is an OSError; the give-up clause is checked
+        first, so the subclass short-circuits even though its base retries."""
+        policy = RetryPolicy(attempts=5, retry_on=(OSError,),
+                             give_up_on=(FileNotFoundError,), seed=0,
+                             sleep=lambda _: None)
+        fn = _flaky(failures=10, error=FileNotFoundError)
+        with pytest.raises(FileNotFoundError):
+            policy.call(fn)
+        assert fn.calls["n"] == 1
+
+    def test_give_up_on_matches_subclasses_of_its_entries(self):
+        class Fatal(RuntimeError):
+            pass
+
+        class MoreFatal(Fatal):
+            pass
+
+        policy = RetryPolicy(attempts=5, retry_on=(RuntimeError,),
+                             give_up_on=(Fatal,), seed=0, sleep=lambda _: None)
+        fn = _flaky(failures=10, error=MoreFatal)
+        with pytest.raises(MoreFatal):
+            policy.call(fn)
+        assert fn.calls["n"] == 1
+        # The base RuntimeError still retries as configured.
+        assert policy.call(_flaky(failures=2, error=RuntimeError)) == 3
+
+    def test_jitter_is_deterministic_across_plan_reset_replays(self, tmp_path):
+        """Replaying the same fault plan with the same policy seed reproduces
+        the exact backoff schedule — chaos runs are rerunnable bit-for-bit."""
+        path = tmp_path / "flaky.txt"
+        path.write_text("payload")
+
+        def read():
+            from repro.reliability.faults import fault_point
+            fault_point("retry.replay")
+            return path.read_text()
+
+        plan = FaultPlan(seed=9).fail("retry.replay", times=3,
+                                      error=OSError("blip"))
+        schedules = []
+        for _ in range(2):
+            plan.reset()
+            slept, sleep = _no_sleep()
+            policy = RetryPolicy(attempts=5, base_delay_s=0.01, jitter=0.5,
+                                 seed=21, sleep=sleep)
+            with inject(plan):
+                assert policy.call(read) == "payload"
+            assert plan.fired == 3
+            assert len(slept) == 3
+            schedules.append(tuple(slept))
+        assert schedules[0] == schedules[1]
+        assert len(set(schedules[0])) == 3  # jitter actually varies per retry

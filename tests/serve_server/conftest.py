@@ -1,0 +1,56 @@
+"""Fixtures for the fault-tolerant serving-tier suite.
+
+The suite spawns real worker processes from a real on-disk artifact, so the
+artifact is built once per module from the session-scoped tiny fixtures.
+Every test runs under a wall-clock watchdog: a supervision bug that wedges
+the pool must fail the test, not hang the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import build_model
+from repro.reliability import watchdog
+from repro.serve import Pipeline, load_pipeline, save_pipeline
+from repro.utils import set_global_seed
+
+
+@pytest.fixture(autouse=True)
+def _test_watchdog(request):
+    """Per-test wall-clock limit (override with ``@pytest.mark.watchdog(s)``)."""
+    marker = request.node.get_closest_marker("watchdog")
+    seconds = float(marker.args[0]) if marker and marker.args else 120.0
+    with watchdog(seconds, message=f"test {request.node.nodeid}"):
+        yield
+
+
+@pytest.fixture(scope="module")
+def server_pipeline(tiny_vocab, tiny_encoder, model_config, tiny_dataset):
+    """An untrained but fully wired pipeline (deterministic predictions)."""
+    set_global_seed(0)
+    model = build_model("textcnn_s", model_config)
+    return Pipeline.from_training(model, tiny_vocab, tiny_encoder, max_length=16,
+                                  domain_names=list(tiny_dataset.domain_names))
+
+
+@pytest.fixture(scope="module")
+def artifact(server_pipeline, tmp_path_factory):
+    """One saved artifact shared by the module (workers only read it)."""
+    path = str(tmp_path_factory.mktemp("serving") / "detector")
+    save_pipeline(server_pipeline, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference_predictor(artifact):
+    """Single-process ground truth for bit-parity assertions."""
+    return load_pipeline(artifact).predictor()
+
+
+@pytest.fixture(scope="module")
+def sample_requests(tiny_splits):
+    """Real corpus texts plus their domains (48 of them)."""
+    items = list(tiny_splits.test.items[:48])
+    assert len(items) == 48
+    return [item.text for item in items], [item.domain for item in items]
