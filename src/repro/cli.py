@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli case-study --scale 0.25
     python -m repro.cli export  --out detector --dtdbd --scale 0.1 --epochs 4
     python -m repro.cli predict --pipeline detector --text "breaking dom3_topic17 ..."
+    python -m repro.cli backends
     python -m repro.cli verify  --pipeline detector
     python -m repro.cli serve   --pipeline detector --workers 2 --port 8080
 
@@ -19,9 +20,10 @@ it into a ``repro.serve`` pipeline artifact; ``predict`` loads such an
 artifact in a fresh process — no training-time state — and scores raw text.
 
 Environment variables: ``REPRO_SCALE`` / ``REPRO_SCALE_EN`` (corpus scale),
-``REPRO_EPOCHS`` (training epochs) and ``REPRO_DTYPE`` (``float64`` default;
+``REPRO_EPOCHS`` (training epochs), ``REPRO_DTYPE`` (``float64`` default;
 ``float32`` runs the whole pipeline — loaders, models, training — on the
-engine's fast path, see ``PERFORMANCE.md``).
+engine's fast path, see ``PERFORMANCE.md``) and ``REPRO_ENCODER_BACKEND``
+(``local`` default; ``backends`` lists the registered kinds).
 """
 
 from __future__ import annotations
@@ -58,6 +60,8 @@ def _base_config(args):
         overrides["scale"] = args.scale
     if args.epochs is not None:
         overrides["epochs"] = args.epochs
+    if getattr(args, "encoder_backend", None) is not None:
+        overrides["encoder_backend"] = args.encoder_backend
     config = factory(**overrides)
     if args.epochs is not None:
         config.dat.epochs = args.epochs
@@ -70,6 +74,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=None,
                         help="fraction of the paper-sized corpus (default per dataset)")
     parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--encoder-backend", type=str, default=None,
+                        help="encoder backend kind for the plm channel "
+                             "(see 'backends'; default: local, or "
+                             "REPRO_ENCODER_BACKEND)")
     parser.add_argument("--output", type=str, default=None,
                         help="write raw results to this JSON file")
 
@@ -208,6 +216,52 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_backends(args) -> int:
+    """List registered encoder backends and feature channels; one line each."""
+    from repro.encoders import (
+        available_encoder_backends,
+        available_feature_channels,
+    )
+    from repro.encoders.backends import ENCODER_BACKENDS
+    from repro.encoders.channels import FEATURE_CHANNELS
+
+    for kind in available_encoder_backends():
+        backend_cls = ENCODER_BACKENDS[kind]
+        doc = (backend_cls.__doc__ or "").strip().splitlines()
+        print(f"backend  {kind:10s} {backend_cls.__name__:16s} "
+              f"{doc[0] if doc else ''}")
+    for name in available_feature_channels():
+        build_fn = FEATURE_CHANNELS[name]
+        owner = getattr(build_fn, "__self__", None)
+        label = (owner.__name__ if isinstance(owner, type)
+                 else getattr(build_fn, "__qualname__", repr(build_fn)))
+        print(f"channel  {name:10s} {label}")
+    return 0
+
+
+def _echo_backend_line(path: str) -> None:
+    """Print the artifact's encoder-backend identity (kind + fingerprint)."""
+    import json
+    import os
+
+    from repro.encoders.backends import spec_fingerprint
+    from repro.serve import MANIFEST_FILE
+
+    try:
+        with open(os.path.join(path, MANIFEST_FILE), "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        return  # the checksum pass already reported manifest damage
+    spec = manifest.get("encoder_backend")
+    if spec is None and "encoder" in manifest:
+        spec = {"kind": "local", "encoder": manifest["encoder"]}
+    if isinstance(spec, dict) and "kind" in spec:
+        channels = manifest.get("feature_channels", [])
+        print(f"verify: encoder backend kind={spec['kind']} "
+              f"fingerprint={spec_fingerprint(spec)} "
+              f"channels={','.join(channels)}")
+
+
 def cmd_verify(args) -> int:
     """Check every recorded artifact checksum; one line per file, exit 0/2."""
     import json
@@ -224,6 +278,7 @@ def cmd_verify(args) -> int:
     if not os.path.exists(checks_path):
         print(f"verify: '{path}' records no checksums ({CHECKSUMS_FILE} missing) "
               "— a legacy artifact; re-export to add integrity checks")
+        _echo_backend_line(path)
         return 0
     try:
         with open(checks_path, "r", encoding="utf-8") as handle:
@@ -250,6 +305,7 @@ def cmd_verify(args) -> int:
               file=sys.stderr)
         return 2
     print(f"verify: all {len(recorded)} files intact in '{path}'")
+    _echo_backend_line(path)
     return 0
 
 
@@ -371,6 +427,10 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--output", type=str, default=None,
                          help="write raw predictions to this JSON file")
     predict.set_defaults(handler=cmd_predict)
+
+    backends = subparsers.add_parser(
+        "backends", help="list registered encoder backends and feature channels")
+    backends.set_defaults(handler=cmd_backends)
 
     verify = subparsers.add_parser(
         "verify", help="check an exported pipeline's checksums (exit 0/2)")

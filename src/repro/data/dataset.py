@@ -42,6 +42,18 @@ def encode_texts(texts: Sequence[str], vocab: Vocabulary, max_length: int,
     return token_ids, mask
 
 
+def default_token_lists(texts: Sequence[str]) -> list[list[str]]:
+    """Whitespace-tokenise *untruncated* raw texts, one list per text.
+
+    The one tokenisation the handcrafted feature channels read, shared by the
+    training-time extractors and the serving path so the two stay
+    byte-identical: channels see the full raw token stream regardless of the
+    vocabulary truncation applied to the model's token-id window.
+    """
+    tokenizer = WhitespaceTokenizer()
+    return [tokenizer(text) for text in texts]
+
+
 @dataclass
 class NewsItem:
     """A single news piece with its veracity and domain labels.

@@ -61,7 +61,8 @@ class DataLoader:
                  max_length: int = 24, batch_size: int = 32, shuffle: bool = True,
                  seed: int = 0,
                  feature_extractors: dict[str, FeatureExtractor] | None = None,
-                 tokenizer: WhitespaceTokenizer | None = None):
+                 tokenizer: WhitespaceTokenizer | None = None,
+                 channels: Sequence | None = None):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.dataset = dataset
@@ -80,8 +81,16 @@ class DataLoader:
         # models never re-cast per batch (matters on the float32 fast path).
         compute_dtype = get_default_dtype()
         self.mask = self.mask.astype(compute_dtype, copy=False)
+        self.channels = self._resolve_channels(channels)
+        extractors = dict(feature_extractors or {})
+        for channel in self.channels:
+            if channel.name in extractors:
+                raise ValueError(
+                    f"feature channel '{channel.name}' passed both as a channel "
+                    "and in feature_extractors")
+            extractors[channel.name] = channel.as_extractor()
         self.features: dict[str, np.ndarray] = {}
-        for name, extractor in (feature_extractors or {}).items():
+        for name, extractor in extractors.items():
             values = np.asarray(extractor(dataset.items, self.token_ids, self.mask))
             if values.shape[0] != len(dataset):
                 raise ValueError(
@@ -93,6 +102,30 @@ class DataLoader:
         # Identity index array shared by every deterministic iteration: eval
         # batches slice views out of it instead of allocating ranges per batch.
         self._identity = np.arange(len(dataset))
+
+    @staticmethod
+    def _resolve_channels(channels: Sequence | None) -> list:
+        """Resolve ``channels`` entries to :class:`FeatureChannel` instances.
+
+        Accepts channel instances directly or spec dicts resolved through the
+        :data:`repro.encoders.FEATURE_CHANNELS` registry, so a loader can be
+        built straight from a pipeline manifest's channel specs.
+        """
+        if not channels:
+            return []
+        from repro.encoders.channels import FeatureChannel, build_feature_channel
+
+        resolved = []
+        for entry in channels:
+            if isinstance(entry, FeatureChannel):
+                resolved.append(entry)
+            elif isinstance(entry, dict):
+                resolved.append(build_feature_channel(entry))
+            else:
+                raise TypeError(
+                    f"channels entries must be FeatureChannel instances or spec "
+                    f"dicts, got {type(entry).__name__}")
+        return resolved
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

@@ -14,8 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.data.dataset import NewsItem
-from repro.data.tokenizer import WhitespaceTokenizer
+from repro.data.dataset import NewsItem, default_token_lists
 
 #: Token prefixes emitted by the synthetic generator.
 EMOTION_PREFIXES = ("emo_arousal", "emo_neutral")
@@ -178,12 +177,10 @@ def emotion_features_batch(token_lists: Sequence[Sequence[str]]) -> np.ndarray:
 def style_feature_extractor(items: Sequence[NewsItem], token_ids: np.ndarray,
                             mask: np.ndarray) -> np.ndarray:
     """Loader-compatible extractor producing ``(n, STYLE_FEATURE_DIM)``."""
-    tokenizer = WhitespaceTokenizer()
-    return style_features_batch([tokenizer(item.text) for item in items])
+    return style_features_batch(default_token_lists([item.text for item in items]))
 
 
 def emotion_feature_extractor(items: Sequence[NewsItem], token_ids: np.ndarray,
                               mask: np.ndarray) -> np.ndarray:
     """Loader-compatible extractor producing ``(n, EMOTION_FEATURE_DIM)``."""
-    tokenizer = WhitespaceTokenizer()
-    return emotion_features_batch([tokenizer(item.text) for item in items])
+    return emotion_features_batch(default_token_lists([item.text for item in items]))

@@ -87,6 +87,13 @@ class FrozenPretrainedEncoder:
         if mask is None:
             mask = (token_ids != 0).astype(np.float64)
         mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != token_ids.shape:
+            # A mismatched mask would otherwise broadcast silently against the
+            # token states (wrong features, no error) or surface as a raw
+            # numpy shape error deep inside _contextualise.
+            raise ValueError(
+                f"mask shape {mask.shape} does not match token_ids shape "
+                f"{token_ids.shape}")
 
         states = self._embeddings[token_ids]
         positional = self._positional_encoding(token_ids.shape[1], self.output_dim)

@@ -46,6 +46,15 @@ class ExperimentConfig:
     dtdbd: DTDBDConfig = field(default_factory=DTDBDConfig)
     student_name: str = "textcnn_s"
     dtype: str = "float64"
+    #: encoder backend serving the ``plm`` feature channel — a kind from
+    #: :func:`repro.encoders.available_encoder_backends` ("local" is the
+    #: bit-for-bit default; "cached" memoises repeated windows; "remote"
+    #: exercises the embedding-service client).  ``REPRO_ENCODER_BACKEND``
+    #: overrides it in the default configs.
+    encoder_backend: str = "local"
+    #: keyword options for the backend's ``from_encoder`` constructor
+    #: (e.g. ``{"max_entries": 512}`` for "cached")
+    encoder_backend_options: dict = field(default_factory=dict)
 
     def trainer_config(self, **overrides) -> TrainerConfig:
         base = TrainerConfig(epochs=self.epochs, learning_rate=self.learning_rate)
@@ -87,6 +96,7 @@ def default_chinese_config(**overrides) -> ExperimentConfig:
         dat=DATConfig(epochs=epochs, learning_rate=2e-3, alpha=1.0),
         dtdbd=DTDBDConfig(epochs=epochs, learning_rate=2e-3),
         dtype=_env_str("REPRO_DTYPE", "float64"),
+        encoder_backend=_env_str("REPRO_ENCODER_BACKEND", "local"),
     )
     return config.with_overrides(**overrides) if overrides else config
 
@@ -106,6 +116,7 @@ def default_english_config(**overrides) -> ExperimentConfig:
         dat=DATConfig(epochs=epochs, learning_rate=2e-3, alpha=1.0),
         dtdbd=DTDBDConfig(epochs=epochs, learning_rate=2e-3),
         dtype=_env_str("REPRO_DTYPE", "float64"),
+        encoder_backend=_env_str("REPRO_ENCODER_BACKEND", "local"),
     )
     return config.with_overrides(**overrides) if overrides else config
 

@@ -29,9 +29,10 @@ from repro.data.synthetic import (
 )
 from repro.data.vocab import Vocabulary
 from repro.encoders import (
+    EncoderBackend,
     FrozenPretrainedEncoder,
-    emotion_feature_extractor,
-    style_feature_extractor,
+    stock_channels,
+    wrap_encoder,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.metrics import EvaluationReport
@@ -57,7 +58,15 @@ class DataBundle:
     train_loader: DataLoader
     val_loader: DataLoader
     test_loader: DataLoader
+    #: legacy name -> extractor view of ``channels`` (case study, callers
+    #: that build their own loaders)
     feature_extractors: dict = field(default_factory=dict)
+    #: the backend serving the ``plm`` channel (selected by
+    #: ``ExperimentConfig.encoder_backend``; wraps ``encoder``)
+    encoder_backend: EncoderBackend | None = None
+    #: the resolved FeatureChannel objects the loaders precomputed with —
+    #: what :meth:`export_pipeline` persists, so custom channels round-trip
+    channels: list = field(default_factory=list)
 
     @property
     def num_domains(self) -> int:
@@ -123,16 +132,21 @@ def prepare_data(config: ExperimentConfig) -> DataBundle:
     vocab = splits.train.build_vocabulary()
     encoder = FrozenPretrainedEncoder(len(vocab), output_dim=config.plm_dim,
                                       seed=config.seed + 1)
-    extractors = {
-        "plm": encoder.as_feature_extractor(),
-        "style": style_feature_extractor,
-        "emotion": emotion_feature_extractor,
-    }
+    # The backend is the single ``plm`` service every consumer shares: the
+    # three loaders, the channel objects and (via export_pipeline) the
+    # serving artifact.  "local" is bit-identical to calling the encoder
+    # directly; "cached"/"remote" are bit-identical too (pinned by
+    # tests/encoders/test_backends.py), just with different operational
+    # behaviour.
+    backend = wrap_encoder(config.encoder_backend, encoder,
+                           **config.encoder_backend_options)
+    channels = stock_channels(backend)
+    extractors = {channel.name: channel.as_extractor() for channel in channels}
 
     def loader(split, shuffle):
         return DataLoader(split, vocab, max_length=config.max_length,
                           batch_size=config.batch_size, shuffle=shuffle,
-                          seed=config.split_seed, feature_extractors=extractors)
+                          seed=config.split_seed, channels=channels)
 
     return DataBundle(
         config=config,
@@ -144,6 +158,8 @@ def prepare_data(config: ExperimentConfig) -> DataBundle:
         val_loader=loader(splits.val, False),
         test_loader=loader(splits.test, False),
         feature_extractors=extractors,
+        encoder_backend=backend,
+        channels=channels,
     )
 
 
@@ -167,15 +183,17 @@ def export_pipeline(model: FakeNewsDetector, bundle: DataBundle, path,
     return serve_export_pipeline(
         model, path,
         vocab=bundle.vocab,
-        encoder=bundle.encoder,
+        encoder=bundle.encoder_backend or bundle.encoder,
         tokenizer=bundle.train_loader.tokenizer,
         max_length=bundle.config.max_length,
         domain_names=bundle.dataset.domain_names,
         model_name=model_name,
-        # Record the channels the model actually trained on; a non-stock
-        # channel then fails fast (PipelineError at predictor construction)
-        # instead of a KeyError deep inside a serving forward.
+        # Record the channel objects the model actually trained on, so custom
+        # (registered) channels round-trip through the artifact and a
+        # non-recomputable one fails fast at predictor construction instead
+        # of a KeyError deep inside a serving forward.
         feature_channels=tuple(bundle.feature_extractors),
+        channels=list(bundle.channels) or None,
         metadata=provenance,
     )
 

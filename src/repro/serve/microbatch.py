@@ -91,6 +91,7 @@ class MicroBatcher:
 
     def health(self) -> dict:
         """The queue's ledger plus the predictor's own liveness report."""
+        self.stats.set_encoder_backend(self.predictor.backend_state())
         report = self.predictor.health()
         report["queue"] = self.stats.snapshot()
         return report

@@ -32,6 +32,20 @@ from repro._version import __version__
 from repro.data.dataset import LABEL_NAMES
 from repro.data.tokenizer import WhitespaceTokenizer, tokenizer_from_spec
 from repro.data.vocab import Vocabulary
+from repro.encoders.backends import (
+    EncoderBackend,
+    EncoderBackendError,
+    LocalBackend,
+    as_backend,
+    backend_from_spec,
+)
+from repro.encoders.channels import (
+    STOCK_CHANNELS,
+    FeatureChannel,
+    FeatureChannelError,
+    PLMChannel,
+    channels_from_specs,
+)
 from repro.encoders.pretrained import FrozenPretrainedEncoder
 from repro.models.base import FakeNewsDetector, ModelConfig
 from repro.models.registry import build_model, registry_name
@@ -84,18 +98,28 @@ class Pipeline:
     model_config: ModelConfig
     vocab: Vocabulary
     tokenizer: WhitespaceTokenizer
-    encoder: FrozenPretrainedEncoder
+    #: Accepts a raw :class:`FrozenPretrainedEncoder` (wrapped into the
+    #: default ``local`` backend) or any :class:`EncoderBackend`; after
+    #: ``__post_init__`` this is always a backend.
+    encoder: "FrozenPretrainedEncoder | EncoderBackend"
     max_length: int
     domain_names: list[str]
     dtype: str
     feature_channels: tuple[str, ...] = DEFAULT_FEATURE_CHANNELS
     metadata: dict = field(default_factory=dict)
+    #: Resolved :class:`FeatureChannel` objects, or ``None`` for the legacy
+    #: names-only representation (stock channels reconstructed on demand).
+    channels: "list[FeatureChannel] | None" = None
     #: Directory this pipeline was loaded from (set by :func:`load_pipeline`;
     #: ``None`` for in-memory pipelines).  ``Predictor.health`` re-verifies
     #: the artifact's checksums through it.
     source_path: str | None = None
 
     def __post_init__(self):
+        try:
+            self.encoder = as_backend(self.encoder)
+        except EncoderBackendError as error:
+            raise PipelineError(str(error)) from error
         if self.encoder.vocab_size != len(self.vocab):
             raise PipelineError(
                 f"frozen encoder was built for a vocabulary of {self.encoder.vocab_size} "
@@ -105,17 +129,20 @@ class Pipeline:
             raise PipelineError(
                 f"model expects {self.model_config.num_domains} domains but only "
                 f"{len(self.domain_names)} domain names were provided")
+        if self.channels is not None:
+            self.feature_channels = tuple(ch.name for ch in self.channels)
         self.model.eval()
 
     # ------------------------------------------------------------------ #
     @classmethod
     def from_training(cls, model: FakeNewsDetector, vocab: Vocabulary,
-                      encoder: FrozenPretrainedEncoder, *,
+                      encoder: "FrozenPretrainedEncoder | EncoderBackend", *,
                       tokenizer: WhitespaceTokenizer | None = None,
                       max_length: int = 24,
                       domain_names: list[str] | None = None,
                       model_name: str | None = None,
                       feature_channels: tuple[str, ...] | None = None,
+                      channels: "list[FeatureChannel] | None" = None,
                       metadata: dict | None = None) -> "Pipeline":
         """Bundle a trained detector with its training-time state.
 
@@ -125,10 +152,19 @@ class Pipeline:
         ``feature_channels`` to the stock loader channels.  ``max_length``
         must be the length the training loaders encoded with — serving pads
         to it, so a mismatch silently shifts probabilities.
+
+        ``encoder`` may be a bare :class:`FrozenPretrainedEncoder` (wrapped
+        into the default ``local`` backend) or any :class:`EncoderBackend`.
+        ``channels`` passes the resolved :class:`FeatureChannel` objects the
+        model trained against (e.g. ``DataBundle.channels``); when given it
+        overrides ``feature_channels`` and lets registered *custom* channels
+        round-trip through the artifact.
         """
         if domain_names is None:
             domain_names = [f"domain_{i}" for i in range(model.config.num_domains)]
-        if feature_channels is None:
+        if channels is not None:
+            feature_channels = tuple(ch.name for ch in channels)
+        elif feature_channels is None:
             feature_channels = DEFAULT_FEATURE_CHANNELS
         return cls(
             model_name=model_name or registry_name(model),
@@ -141,13 +177,65 @@ class Pipeline:
             domain_names=list(domain_names),
             dtype=_model_dtype(model),
             feature_channels=tuple(feature_channels),
+            channels=channels,
             metadata=dict(metadata or {}),
         )
 
     # ------------------------------------------------------------------ #
+    def resolve_channels(self) -> "list[FeatureChannel]":
+        """The channel objects serving must recompute, stock ones on demand.
+
+        Pipelines built (or loaded) with explicit channel objects return
+        them; legacy pipelines carry names only, and every name must then be
+        one of the stock :data:`~repro.encoders.STOCK_CHANNELS` — anything
+        else cannot be recomputed from raw text without its registered spec.
+        """
+        if self.channels is not None:
+            return list(self.channels)
+        from repro.encoders.channels import stock_channels
+
+        stock = {ch.name: ch for ch in stock_channels(self.encoder)}
+        unknown = [name for name in self.feature_channels if name not in stock]
+        if unknown:
+            raise PipelineError(
+                f"pipeline requires feature channels {unknown} that the serving "
+                f"path cannot recompute from raw text; supported: "
+                f"{sorted(stock)}. Custom channels must be exported with their "
+                "specs (register_feature_channel + DataBundle.channels)")
+        return [stock[name] for name in self.feature_channels]
+
+    def _needs_channel_specs(self) -> bool:
+        """Whether the manifest must carry explicit channel specs.
+
+        The legacy names-only representation reconstructs stock channels
+        bound to the pipeline's backend; explicit specs are needed only when
+        a channel is custom, renamed, or a ``plm`` bound to a *different*
+        backend — keeping stock artifacts byte-identical to pre-registry
+        exports.
+        """
+        if self.channels is None:
+            return False
+        for channel in self.channels:
+            if channel.kind not in STOCK_CHANNELS or channel.name != channel.kind:
+                return True
+            if (isinstance(channel, PLMChannel)
+                    and channel.backend.fingerprint() != self.encoder.fingerprint()):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
     def manifest(self) -> dict:
-        """The JSON document :func:`save_pipeline` writes as ``manifest.json``."""
-        return {
+        """The JSON document :func:`save_pipeline` writes as ``manifest.json``.
+
+        The schema is strictly additive over the pre-registry layout: the
+        legacy ``"encoder"`` key still carries the frozen-encoder spec, an
+        ``"encoder_backend"`` key appears only for non-``local`` backends and
+        ``"feature_channel_specs"`` only for non-stock channels — so an
+        artifact exported with the default backend and stock channels is
+        *byte-identical* to one written before backends existed, and legacy
+        manifests load unchanged.
+        """
+        document = {
             "format_version": PIPELINE_FORMAT_VERSION,
             "repro_version": __version__,
             "model": {"name": self.model_name, "config": self.model_config.to_dict()},
@@ -155,11 +243,24 @@ class Pipeline:
             "max_length": self.max_length,
             "domain_names": list(self.domain_names),
             "tokenizer": self.tokenizer.to_spec(),
-            "encoder": self.encoder.to_spec(),
             "feature_channels": list(self.feature_channels),
             "labels": list(LABEL_NAMES),
             "metadata": self.metadata,
         }
+        encoder_spec = self.encoder.encoder_spec()
+        if encoder_spec is not None:
+            document["encoder"] = encoder_spec
+        if self.encoder.kind != "local":
+            document["encoder_backend"] = self.encoder.to_spec()
+        elif encoder_spec is None:
+            raise PipelineError(
+                f"encoder backend '{self.encoder.kind}' exposes neither an "
+                "underlying encoder spec nor a non-local backend spec; it "
+                "cannot be persisted")
+        if self._needs_channel_specs():
+            document["feature_channel_specs"] = [
+                channel.to_spec() for channel in self.channels]
+        return document
 
     def save(self, path: str | os.PathLike) -> str:
         return save_pipeline(self, path)
@@ -234,12 +335,14 @@ def verify_pipeline(path: str | os.PathLike) -> dict[str, str]:
 
 
 def export_pipeline(model: FakeNewsDetector, path: str | os.PathLike, *,
-                    vocab: Vocabulary, encoder: FrozenPretrainedEncoder,
+                    vocab: Vocabulary,
+                    encoder: "FrozenPretrainedEncoder | EncoderBackend",
                     tokenizer: WhitespaceTokenizer | None = None,
                     max_length: int = 24,
                     domain_names: list[str] | None = None,
                     model_name: str | None = None,
                     feature_channels: tuple[str, ...] | None = None,
+                    channels: "list[FeatureChannel] | None" = None,
                     metadata: dict | None = None) -> str:
     """One-call export: bundle a trained model and write the artifact.
 
@@ -250,7 +353,7 @@ def export_pipeline(model: FakeNewsDetector, path: str | os.PathLike, *,
     pipeline = Pipeline.from_training(
         model, vocab, encoder, tokenizer=tokenizer, max_length=max_length,
         domain_names=domain_names, model_name=model_name,
-        feature_channels=feature_channels, metadata=metadata)
+        feature_channels=feature_channels, channels=channels, metadata=metadata)
     return save_pipeline(pipeline, path)
 
 
@@ -285,7 +388,6 @@ def load_pipeline(path: str | os.PathLike) -> Pipeline:
         vocab = Vocabulary.from_spec(
             json.loads(_read_artifact_text(os.path.join(path, VOCAB_FILE))))
         tokenizer = tokenizer_from_spec(manifest["tokenizer"])
-        encoder = FrozenPretrainedEncoder.from_spec(manifest["encoder"])
         model_name = manifest["model"]["name"]
         model_config = ModelConfig.from_dict(manifest["model"]["config"])
         dtype = manifest["dtype"]
@@ -295,6 +397,40 @@ def load_pipeline(path: str | os.PathLike) -> Pipeline:
         # Missing files, unknown tokenizer kinds, corrupt specs: surface them
         # all as the documented "malformed artifact" error class.
         raise PipelineError(f"pipeline at '{path}' is malformed: {error}") from error
+
+    try:
+        if "encoder_backend" in manifest:
+            encoder = backend_from_spec(manifest["encoder_backend"])
+        elif "encoder" in manifest:
+            # Legacy manifests (and every stock local-backend export) carry
+            # only the frozen-encoder spec; the default backend wraps it.
+            encoder = LocalBackend(
+                FrozenPretrainedEncoder.from_spec(manifest["encoder"]))
+        else:
+            raise PipelineError(
+                f"pipeline at '{path}' is malformed: manifest has neither an "
+                "'encoder' nor an 'encoder_backend' entry")
+    except PipelineError:
+        raise
+    except EncoderBackendError as error:
+        raise PipelineError(
+            f"pipeline at '{path}' needs an encoder backend this process "
+            f"cannot build: {error}") from error
+    except (KeyError, ValueError, TypeError) as error:
+        raise PipelineError(f"pipeline at '{path}' is malformed: {error}") from error
+
+    channels = None
+    if "feature_channel_specs" in manifest:
+        try:
+            channels = channels_from_specs(manifest["feature_channel_specs"],
+                                           backend=encoder)
+        except FeatureChannelError as error:
+            raise PipelineError(
+                f"pipeline at '{path}' needs a feature channel this process "
+                f"cannot build: {error}") from error
+        except (KeyError, ValueError, TypeError) as error:
+            raise PipelineError(
+                f"pipeline at '{path}' is malformed: {error}") from error
     with default_dtype(dtype):
         try:
             model = build_model(model_name, model_config)
@@ -324,6 +460,7 @@ def load_pipeline(path: str | os.PathLike) -> Pipeline:
         feature_channels=tuple(manifest.get("feature_channels",
                                             DEFAULT_FEATURE_CHANNELS)),
         metadata=dict(manifest.get("metadata", {})),
+        channels=channels,
         source_path=path,
     )
 

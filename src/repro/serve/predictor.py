@@ -27,13 +27,12 @@ import numpy as np
 
 from repro.data.dataset import FAKE_LABEL, LABEL_NAMES, encode_texts
 from repro.data.loader import Batch
-from repro.data.tokenizer import WhitespaceTokenizer
-from repro.encoders.features import emotion_features_batch, style_features_batch
+from repro.encoders.channels import ServeRequest
 from repro.reliability.circuit import CircuitBreaker
 from repro.reliability.faults import fault_point
 from repro.reliability.retry import RetryPolicy
 from repro.serve.microbatch import MicroBatcher
-from repro.serve.pipeline import Pipeline, PipelineError, verify_pipeline
+from repro.serve.pipeline import Pipeline, verify_pipeline
 from repro.tensor import default_dtype, fused_kernels
 
 
@@ -129,27 +128,16 @@ class Predictor:
         if encoder_breaker is not None:
             encode = encoder_breaker.wrap(encode)
         self._encode_plm = encode
-        self._channel_names = self._resolve_channels(pipeline)
+        # Resolve the channel objects once: pipelines carrying explicit
+        # channels (custom or rebuilt from manifest specs) serve those;
+        # legacy names-only pipelines get the stock channels, and any
+        # unservable name raises PipelineError here, at construction.
+        self._channels = pipeline.resolve_channels()
         pipeline.model.eval()
 
     # ------------------------------------------------------------------ #
     # Encoding (training-parity path)                                      #
     # ------------------------------------------------------------------ #
-    #: batched token-feature functions behind the handcrafted channels; both
-    #: read default-whitespace tokens of the raw text, exactly like the
-    #: training extractors in :mod:`repro.encoders.features`
-    _TOKEN_CHANNELS = {"style": style_features_batch, "emotion": emotion_features_batch}
-
-    @staticmethod
-    def _resolve_channels(pipeline: Pipeline) -> tuple[str, ...]:
-        known = ("plm", *Predictor._TOKEN_CHANNELS)
-        unknown = [name for name in pipeline.feature_channels if name not in known]
-        if unknown:
-            raise PipelineError(
-                f"pipeline requires feature channels {unknown} that the serving "
-                f"path cannot recompute from raw text; supported: {sorted(known)}")
-        return tuple(pipeline.feature_channels)
-
     def _domain_index(self, domain: int | str | None) -> int:
         if domain is None:
             return self.default_domain
@@ -191,10 +179,13 @@ class Predictor:
         Mirrors :class:`repro.data.DataLoader` exactly: shared
         :func:`repro.data.encode_texts` truncation+padding, mask cast to the
         pipeline dtype *before* feature extraction, every floating channel
-        cast to the pipeline dtype after extraction.  The handcrafted
-        ``style``/``emotion`` channels both read default-whitespace tokens of
-        the *untruncated* raw text (like the training extractors), so one
-        tokenisation pass feeds both.
+        cast to the pipeline dtype after extraction.  Channels recompute
+        through their :meth:`~repro.encoders.FeatureChannel.serve` hooks over
+        one shared :class:`~repro.encoders.ServeRequest` — the handcrafted
+        ``style``/``emotion`` channels read its lazily tokenised
+        *untruncated* raw texts (like the training extractors), so one
+        tokenisation pass feeds both, and the ``plm`` channel goes through
+        the predictor's retry/circuit-wrapped encoder backend.
         """
         if not texts:
             raise ValueError("encode_batch needs at least one text")
@@ -209,17 +200,12 @@ class Predictor:
             mask = mask[:, :padded]
         compute_dtype = np.dtype(pipeline.dtype)
         mask = mask.astype(compute_dtype, copy=False)
+        request = ServeRequest(texts, token_ids, mask,
+                               encode_plm=self._encode_plm)
         features = {}
-        token_lists = None
-        for name in self._channel_names:
-            if name == "plm":
-                values = self._encode_plm(token_ids, mask)
-            else:
-                if token_lists is None:
-                    tokenize = WhitespaceTokenizer()
-                    token_lists = [tokenize(text) for text in texts]
-                values = self._TOKEN_CHANNELS[name](token_lists)
-            features[name] = values.astype(compute_dtype, copy=False)
+        for channel in self._channels:
+            values = np.asarray(channel.serve(request))
+            features[channel.name] = values.astype(compute_dtype, copy=False)
         return Batch(
             token_ids=token_ids,
             mask=mask,
@@ -424,8 +410,22 @@ class Predictor:
             "max_length": self.pipeline.max_length,
             "domains": list(self.pipeline.domain_names),
             "source_path": self.pipeline.source_path,
+            "encoder_backend": self.backend_state(),
             "checks": checks,
         }
+
+    def backend_state(self) -> dict:
+        """Live state of the pipeline's encoder backend.
+
+        Kind, spec fingerprint and backend-specific counters (cache hit rate,
+        RPC rounds, transport circuit state...), plus the predictor-level
+        encoder circuit when one is installed — the block ``/health`` and
+        ``/stats`` surface per replica.
+        """
+        state = self.pipeline.encoder.state()
+        if self.encoder_breaker is not None:
+            state["predictor_circuit"] = self.encoder_breaker.snapshot()["state"]
+        return state
 
     def predict_iter(self, texts: Iterable[str], domains=None,
                      batch_size: int = 64) -> Iterator[Prediction]:

@@ -86,6 +86,12 @@ class ServerConfig:
     bucket_size: int | None = None
     #: kwargs for each worker's frozen-encoder CircuitBreaker
     breaker: dict = field(default_factory=dict)
+    #: wrap each worker's encoder backend in a CachedBackend; ``True`` for
+    #: defaults or a dict of CachedBackend kwargs (``max_entries``,
+    #: ``max_bytes``).  Serving traffic repeats windows (health probes, hot
+    #: stories, donor-substituted rows), and cache hits are bit-identical by
+    #: construction (content-hash keys).
+    encoder_cache: "bool | dict" = False
     #: chaos harness: per-worker-slot FaultPlans shipped to the workers.
     #: Only the FIRST incarnation of a slot gets its plan — a respawned
     #: worker is healthy, so an injected kill exercises exactly one death.
@@ -277,6 +283,21 @@ class Server:
         self.domain_names = list(manifest["domain_names"])
         self._num_domains = int(manifest["model"]["config"].get(
             "num_domains", len(self.domain_names)))
+        # Publish the artifact's encoder-backend identity (kind + spec
+        # fingerprint) without constructing a backend in the parent; the live
+        # counters stay in the workers, but every replica reporting the same
+        # fingerprint is the cross-process invariant operators check.
+        from repro.encoders.backends import spec_fingerprint
+
+        backend_spec = manifest.get("encoder_backend")
+        if backend_spec is None and "encoder" in manifest:
+            backend_spec = {"kind": "local", "encoder": manifest["encoder"]}
+        if backend_spec is not None:
+            state = {"kind": backend_spec.get("kind"),
+                     "fingerprint": spec_fingerprint(backend_spec)}
+            if self.config.encoder_cache:
+                state["worker_cache"] = "enabled"
+            self.stats.set_encoder_backend(state)
 
     def _spawn_locked(self, slot: _WorkerSlot) -> None:
         slot.queue = self._ctx.Queue()
@@ -287,6 +308,9 @@ class Server:
             "use_fused": self.config.use_fused,
             "bucket_size": self.config.bucket_size,
             "default_domain": self.default_domain,
+            "encoder_cache": (dict(self.config.encoder_cache)
+                              if isinstance(self.config.encoder_cache, dict)
+                              else self.config.encoder_cache),
             # chaos plans arm the first incarnation only (see ServerConfig)
             "fault_plan": ((self.config.fault_plans or {}).get(slot.id)
                            if slot.spawns == 0 else None),

@@ -51,6 +51,10 @@ class ServeStats:
     worker_restarts: int = 0
     #: tickets re-dispatched because their worker died mid-batch (server only)
     redispatched: int = 0
+    #: state of the encoder backend behind the queue (kind, spec fingerprint,
+    #: live counters like cache hit rate / circuit state); ``None`` until the
+    #: owning queue first publishes it via :meth:`set_encoder_backend`
+    encoder_backend: dict | None = None
 
     def __post_init__(self):
         # One queue is driven from several threads (submitters, dispatcher,
@@ -84,6 +88,11 @@ class ServeStats:
             else:
                 self.failed += count
 
+    def set_encoder_backend(self, state: dict | None) -> None:
+        """Publish the owning queue's encoder-backend state for snapshots."""
+        with self._lock:
+            self.encoder_backend = dict(state) if state is not None else None
+
     def count(self, field_name: str, amount: int = 1) -> None:
         """Atomically add ``amount`` to one of the integer counters."""
         with self._lock:
@@ -105,4 +114,6 @@ class ServeStats:
                 "worker_deaths": self.worker_deaths,
                 "worker_restarts": self.worker_restarts,
                 "redispatched": self.redispatched,
+                "encoder_backend": (dict(self.encoder_backend)
+                                    if self.encoder_backend is not None else None),
             }

@@ -62,7 +62,9 @@ def worker_main(worker_id: int, artifact_path: str, task_queue, result_queue,
     ``options`` keys (all optional): ``fault_plan`` (a pickled
     :class:`repro.reliability.FaultPlan` installed for this worker's whole
     lifetime), ``breaker`` (:class:`CircuitBreaker` constructor kwargs),
-    ``use_fused``, ``bucket_size``, ``default_domain``.
+    ``use_fused``, ``bucket_size``, ``default_domain``, ``encoder_cache``
+    (truthy wraps the pipeline's encoder backend in a per-worker
+    :class:`repro.encoders.CachedBackend`; a dict supplies its kwargs).
     """
     # The parent owns Ctrl-C handling; a worker interrupted mid-GEMM would
     # otherwise die with a KeyboardInterrupt traceback during test teardown.
@@ -84,6 +86,15 @@ def worker_main(worker_id: int, artifact_path: str, task_queue, result_queue,
         fault_point("serve.worker.start", worker=worker_id)
         verify_pipeline(artifact_path)
         pipeline = load_pipeline(artifact_path)
+        cache = options.get("encoder_cache")
+        if cache:
+            # Per-worker memoisation over the loaded backend; cache hits are
+            # bit-identical by construction (content-hash window keys), so
+            # the cross-worker bit-parity contract is unaffected.
+            from repro.encoders.backends import CachedBackend
+
+            pipeline.encoder = CachedBackend(
+                pipeline.encoder, **(cache if isinstance(cache, dict) else {}))
         breaker = CircuitBreaker(name=f"encoder[worker {worker_id}]",
                                  **options.get("breaker", {}))
         predictor = pipeline.predictor(

@@ -1,0 +1,98 @@
+"""Custom detector + custom feature channel for the fresh-process round-trip.
+
+Imported by ``tests/serve/test_backend_pipeline.py`` (the exporting process)
+and executed as a script by the fresh subprocess it launches (the importing
+process), so both sides perform exactly the same ``register_model`` /
+``register_feature_channel`` calls before touching the artifact — the
+documented recipe for round-tripping custom components.
+
+As a script: ``python backend_roundtrip_helper.py <artifact> <probes.json>
+<out.npy>`` loads the pipeline and saves ``predict_proba`` of the probe
+texts to ``out.npy``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+from repro.encoders import FeatureChannel, register_feature_channel
+from repro.encoders.channels import FEATURE_CHANNELS
+from repro.models import FakeNewsDetector, available_models, register_model
+from repro.models.base import pooled_plm
+from repro.tensor import Tensor
+
+CHANNEL_KIND = "unit_token_count"
+MODEL_NAME = "unit_channel_custom"
+
+
+class TokenCountChannel(FeatureChannel):
+    """One scalar per item: its whitespace token count."""
+
+    kind = CHANNEL_KIND
+
+    def extract(self, items, token_ids, mask):
+        return np.array([[float(len(item.text.split()))] for item in items])
+
+    def serve(self, request):
+        return np.array([[float(len(tokens))] for tokens in request.token_lists])
+
+    def to_spec(self):
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_spec(cls, spec):
+        return cls()
+
+
+class ChannelCustomDetector(FakeNewsDetector):
+    """Pooled PLM features concatenated with the custom token-count channel."""
+
+    name = MODEL_NAME
+    required_features = ("plm", CHANNEL_KIND)
+
+    def __init__(self, config):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        self.classifier = self._build_classifier(self.feature_dim, rng)
+
+    @property
+    def feature_dim(self):
+        return self.config.plm_dim + 1
+
+    def extract_features(self, batch):
+        counts = Tensor(batch.feature(CHANNEL_KIND))
+        return Tensor.cat([pooled_plm(batch), counts], axis=1)
+
+
+def register() -> None:
+    if CHANNEL_KIND not in FEATURE_CHANNELS:
+        register_feature_channel(CHANNEL_KIND, TokenCountChannel)
+    if MODEL_NAME not in available_models():
+        register_model(MODEL_NAME, ChannelCustomDetector)
+
+
+def unregister() -> None:
+    from repro.models import registry
+
+    FEATURE_CHANNELS.pop(CHANNEL_KIND, None)
+    registry._REGISTRY.pop(MODEL_NAME, None)
+
+
+def main(argv: list[str]) -> None:
+    artifact, probes_path, out_path = argv
+    register()
+    from repro.serve import load_pipeline
+
+    with open(probes_path, "r", encoding="utf-8") as handle:
+        probes = json.load(handle)
+    pipeline = load_pipeline(artifact)
+    probabilities = pipeline.predictor().predict_proba(
+        probes["texts"], domains=probes["domains"])
+    np.save(out_path, probabilities)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

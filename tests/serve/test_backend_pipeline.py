@@ -1,0 +1,351 @@
+"""Encoder backends and feature channels through the pipeline artifact.
+
+The tentpole contract of the backend registry, end to end:
+
+* stock local-backend exports are *byte-compatible* with pre-registry
+  artifacts (no new manifest keys, legacy manifests load unchanged);
+* non-local backends persist under the additive ``encoder_backend`` key and
+  reload bit-identically (their math wraps the same frozen encoder);
+* a custom detector consuming a custom registered channel exports, reloads
+  in a *fresh process* and reproduces its probabilities bit-for-bit in both
+  engine dtypes;
+* failure modes (unregistered backend/channel kinds, custom channels
+  exported without specs) surface as readable :class:`PipelineError`\\ s
+  naming the registration call.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import backend_roundtrip_helper as helper
+
+from repro.encoders import (
+    CachedBackend,
+    EmotionChannel,
+    LocalBackend,
+    PLMChannel,
+    RemoteBackend,
+    StyleChannel,
+    spec_fingerprint,
+)
+from repro.models import build_model
+from repro.serve import (
+    MANIFEST_FILE,
+    Pipeline,
+    PipelineError,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.tensor import default_dtype
+
+DTYPES = ("float64", "float32")
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+#: manifest keys of a pre-registry (PR-5-era) stock export — the byte-
+#: compatibility contract is that stock local exports add nothing to these.
+LEGACY_MANIFEST_KEYS = {
+    "domain_names", "dtype", "encoder", "feature_channels", "format_version",
+    "labels", "max_length", "metadata", "model", "repro_version", "tokenizer",
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registrations():
+    helper.register()
+    yield
+    helper.unregister()
+
+
+@pytest.fixture(scope="module")
+def probe_texts(tiny_splits):
+    items = tiny_splits.test.items[:6]
+    return [item.text for item in items], [item.domain for item in items]
+
+
+def _read_manifest(path):
+    with open(os.path.join(path, MANIFEST_FILE)) as handle:
+        return json.load(handle)
+
+
+def _stock_pipeline(model_config, tiny_vocab, encoder, tiny_dataset, dtype,
+                    name="textcnn_s"):
+    with default_dtype(dtype):
+        model = build_model(name, model_config)
+    return Pipeline.from_training(model, tiny_vocab, encoder, max_length=16,
+                                  domain_names=tiny_dataset.domain_names)
+
+
+class TestManifestCompatibility:
+    def test_stock_local_export_adds_no_manifest_keys(self, model_config,
+                                                      tiny_vocab, tiny_encoder,
+                                                      tiny_dataset, tmp_path):
+        pipeline = _stock_pipeline(model_config, tiny_vocab, tiny_encoder,
+                                   tiny_dataset, "float64")
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+        assert set(_read_manifest(path)) == LEGACY_MANIFEST_KEYS
+
+    def test_explicit_stock_channels_add_no_manifest_keys(self, model_config,
+                                                          tiny_vocab, tiny_encoder,
+                                                          tiny_dataset, tmp_path):
+        """Passing resolved stock channel objects (the new training path)
+        must not change the artifact either."""
+        backend = LocalBackend(tiny_encoder)
+        with default_dtype("float64"):
+            model = build_model("textcnn_s", model_config)
+        pipeline = Pipeline.from_training(
+            model, tiny_vocab, backend, max_length=16,
+            domain_names=tiny_dataset.domain_names,
+            channels=[PLMChannel(backend), StyleChannel(), EmotionChannel()])
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+        assert set(_read_manifest(path)) == LEGACY_MANIFEST_KEYS
+
+    def test_legacy_manifest_without_backend_keys_loads(self, model_config,
+                                                        tiny_vocab, tiny_encoder,
+                                                        tiny_dataset, probe_texts,
+                                                        tmp_path):
+        """An artifact stripped back to the legacy schema loads through the
+        local-backend fallback and predicts identically."""
+        texts, domains = probe_texts
+        pipeline = _stock_pipeline(model_config, tiny_vocab,
+                                   CachedBackend.from_encoder(tiny_encoder),
+                                   tiny_dataset, "float64")
+        expected = pipeline.predictor().predict_proba(texts, domains=domains)
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+        manifest = _read_manifest(path)
+        assert manifest["encoder_backend"]["kind"] == "cached"
+        del manifest["encoder_backend"]  # what a pre-registry writer produced
+        from repro.reliability import sha256_file
+
+        manifest_path = os.path.join(path, MANIFEST_FILE)
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with open(os.path.join(path, "checksums.json")) as handle:
+            checksums = json.load(handle)
+        checksums[MANIFEST_FILE] = sha256_file(manifest_path)
+        with open(os.path.join(path, "checksums.json"), "w") as handle:
+            json.dump(checksums, handle)
+
+        loaded = load_pipeline(path)
+        assert loaded.encoder.kind == "local"
+        np.testing.assert_array_equal(
+            loaded.predictor().predict_proba(texts, domains=domains), expected)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestNonLocalBackendRoundTrip:
+    def test_cached_backend_round_trips(self, dtype, model_config, tiny_vocab,
+                                        tiny_encoder, tiny_dataset, probe_texts,
+                                        tmp_path):
+        texts, domains = probe_texts
+        backend = CachedBackend.from_encoder(tiny_encoder, max_entries=64)
+        pipeline = _stock_pipeline(model_config, tiny_vocab, backend,
+                                   tiny_dataset, dtype)
+        expected = _stock_pipeline(model_config, tiny_vocab, tiny_encoder,
+                                   tiny_dataset, dtype).predictor().predict_proba(
+                                       texts, domains=domains)
+        # The cache is transparent: same probabilities as the local pipeline.
+        np.testing.assert_array_equal(
+            pipeline.predictor().predict_proba(texts, domains=domains), expected)
+
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+        manifest = _read_manifest(path)
+        assert manifest["encoder_backend"]["kind"] == "cached"
+        assert manifest["encoder_backend"]["max_entries"] == 64
+        assert "encoder" in manifest  # legacy key still written
+        loaded = load_pipeline(path)
+        assert isinstance(loaded.encoder, CachedBackend)
+        assert loaded.encoder.fingerprint() == backend.fingerprint()
+        np.testing.assert_array_equal(
+            loaded.predictor().predict_proba(texts, domains=domains), expected)
+
+    def test_remote_backend_round_trips(self, dtype, model_config, tiny_vocab,
+                                        tiny_encoder, tiny_dataset, probe_texts,
+                                        tmp_path):
+        texts, domains = probe_texts
+        backend = RemoteBackend.in_process(tiny_encoder, max_rows_per_request=3)
+        pipeline = _stock_pipeline(model_config, tiny_vocab, backend,
+                                   tiny_dataset, dtype)
+        expected = _stock_pipeline(model_config, tiny_vocab, tiny_encoder,
+                                   tiny_dataset, dtype).predictor().predict_proba(
+                                       texts, domains=domains)
+        np.testing.assert_array_equal(
+            pipeline.predictor().predict_proba(texts, domains=domains), expected)
+
+        loaded = load_pipeline(save_pipeline(pipeline, tmp_path / "artifact"))
+        assert isinstance(loaded.encoder, RemoteBackend)
+        assert loaded.encoder.max_rows_per_request == 3
+        np.testing.assert_array_equal(
+            loaded.predictor().predict_proba(texts, domains=domains), expected)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestCustomChannelRoundTrip:
+    def _custom_pipeline(self, model_config, tiny_vocab, tiny_encoder,
+                         tiny_dataset, dtype):
+        backend = LocalBackend(tiny_encoder)
+        with default_dtype(dtype):
+            model = build_model(helper.MODEL_NAME, model_config)
+        return Pipeline.from_training(
+            model, tiny_vocab, backend, max_length=16,
+            domain_names=tiny_dataset.domain_names,
+            channels=[PLMChannel(backend), helper.TokenCountChannel()])
+
+    def test_manifest_carries_channel_specs(self, dtype, model_config, tiny_vocab,
+                                            tiny_encoder, tiny_dataset, tmp_path):
+        pipeline = self._custom_pipeline(model_config, tiny_vocab, tiny_encoder,
+                                         tiny_dataset, dtype)
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+        manifest = _read_manifest(path)
+        assert manifest["feature_channels"] == ["plm", helper.CHANNEL_KIND]
+        kinds = [spec["kind"] for spec in manifest["feature_channel_specs"]]
+        assert kinds == ["plm", helper.CHANNEL_KIND]
+
+    def test_same_process_round_trip(self, dtype, model_config, tiny_vocab,
+                                     tiny_encoder, tiny_dataset, probe_texts,
+                                     tmp_path):
+        texts, domains = probe_texts
+        pipeline = self._custom_pipeline(model_config, tiny_vocab, tiny_encoder,
+                                         tiny_dataset, dtype)
+        expected = pipeline.predictor().predict_proba(texts, domains=domains)
+        assert expected.dtype == np.dtype(dtype)
+        loaded = load_pipeline(save_pipeline(pipeline, tmp_path / "artifact"))
+        assert loaded.feature_channels == ("plm", helper.CHANNEL_KIND)
+        # The reloaded plm channel shares the pipeline's backend instance.
+        assert loaded.channels[0].backend is loaded.encoder
+        np.testing.assert_array_equal(
+            loaded.predictor().predict_proba(texts, domains=domains), expected)
+
+    def test_fresh_process_round_trip_bit_identical(self, dtype, model_config,
+                                                    tiny_vocab, tiny_encoder,
+                                                    tiny_dataset, probe_texts,
+                                                    tmp_path):
+        """Satellite 3: export here, reload in a *fresh* interpreter that only
+        re-runs the registrations, compare probabilities bit-for-bit."""
+        texts, domains = probe_texts
+        pipeline = self._custom_pipeline(model_config, tiny_vocab, tiny_encoder,
+                                         tiny_dataset, dtype)
+        expected = pipeline.predictor().predict_proba(texts, domains=domains)
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+
+        probes_path = tmp_path / "probes.json"
+        probes_path.write_text(json.dumps({"texts": texts, "domains": domains}))
+        out_path = tmp_path / "probabilities.npy"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [SRC_DIR, env.get("PYTHONPATH", "")]))
+        script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "backend_roundtrip_helper.py")
+        result = subprocess.run(
+            [sys.executable, script, path, str(probes_path), str(out_path)],
+            env=env, capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+        restored = np.load(out_path)
+        assert restored.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(restored, expected)
+
+
+class TestFailureModes:
+    def test_unregistered_backend_kind_names_the_register_call(
+            self, model_config, tiny_vocab, tiny_encoder, tiny_dataset, tmp_path):
+        pipeline = _stock_pipeline(model_config, tiny_vocab,
+                                   CachedBackend.from_encoder(tiny_encoder),
+                                   tiny_dataset, "float64")
+        path = save_pipeline(pipeline, tmp_path / "artifact")
+        from repro.encoders.backends import ENCODER_BACKENDS
+
+        saved = ENCODER_BACKENDS.pop("cached")
+        try:
+            with pytest.raises(PipelineError,
+                               match="register_encoder_backend"):
+                load_pipeline(path)
+        finally:
+            ENCODER_BACKENDS["cached"] = saved
+
+    def test_unregistered_channel_kind_names_the_register_call(
+            self, model_config, tiny_vocab, tiny_encoder, tiny_dataset, tmp_path):
+        pipeline = _stock_pipeline(model_config, tiny_vocab, tiny_encoder,
+                                   tiny_dataset, "float64")
+        with default_dtype("float64"):
+            model = build_model(helper.MODEL_NAME, model_config)
+        backend = LocalBackend(tiny_encoder)
+        custom = Pipeline.from_training(
+            model, tiny_vocab, backend, max_length=16,
+            domain_names=tiny_dataset.domain_names,
+            channels=[PLMChannel(backend), helper.TokenCountChannel()])
+        path = save_pipeline(custom, tmp_path / "artifact")
+        from repro.encoders.channels import FEATURE_CHANNELS
+
+        saved = FEATURE_CHANNELS.pop(helper.CHANNEL_KIND)
+        try:
+            with pytest.raises(PipelineError,
+                               match="register_feature_channel"):
+                load_pipeline(path)
+        finally:
+            FEATURE_CHANNELS[helper.CHANNEL_KIND] = saved
+
+    def test_custom_channel_name_without_specs_fails_readably(
+            self, model_config, tiny_vocab, tiny_encoder, tiny_dataset):
+        """A names-only pipeline can only recompute stock channels; anything
+        else must fail at predictor construction, not mid-request."""
+        with default_dtype("float64"):
+            model = build_model("textcnn_s", model_config)
+        pipeline = Pipeline.from_training(
+            model, tiny_vocab, tiny_encoder, max_length=16,
+            domain_names=tiny_dataset.domain_names,
+            feature_channels=("plm", "style", "mystery_channel"))
+        with pytest.raises(PipelineError, match="cannot recompute"):
+            pipeline.predictor()
+
+
+class TestBackendHealthReporting:
+    def test_health_reports_cached_backend_state(self, model_config, tiny_vocab,
+                                                 tiny_encoder, tiny_dataset,
+                                                 probe_texts):
+        """Satellite 1: ``Predictor.health()`` surfaces the live backend."""
+        texts, domains = probe_texts
+        backend = CachedBackend.from_encoder(tiny_encoder)
+        pipeline = _stock_pipeline(model_config, tiny_vocab, backend,
+                                   tiny_dataset, "float64")
+        predictor = pipeline.predictor()
+        predictor.predict_proba(texts, domains=domains)
+        predictor.predict_proba(texts, domains=domains)  # second pass hits
+        health = predictor.health()
+        state = health["encoder_backend"]
+        assert state["kind"] == "cached"
+        assert state["fingerprint"] == spec_fingerprint(backend.to_spec())
+        assert state["hits"] >= 1
+        assert 0.0 < state["hit_rate"] <= 1.0
+
+    def test_backend_state_includes_predictor_circuit(self, model_config,
+                                                      tiny_vocab, tiny_encoder,
+                                                      tiny_dataset):
+        from repro.reliability import CircuitBreaker
+
+        pipeline = _stock_pipeline(model_config, tiny_vocab, tiny_encoder,
+                                   tiny_dataset, "float64")
+        predictor = pipeline.predictor(
+            encoder_breaker=CircuitBreaker(name="unit"))
+        state = predictor.backend_state()
+        assert state["kind"] == "local"
+        assert state["predictor_circuit"] == "closed"
+
+    def test_remote_backend_state_reports_circuit(self, model_config, tiny_vocab,
+                                                  tiny_encoder, tiny_dataset,
+                                                  probe_texts):
+        texts, domains = probe_texts
+        pipeline = _stock_pipeline(model_config, tiny_vocab,
+                                   RemoteBackend.in_process(tiny_encoder),
+                                   tiny_dataset, "float64")
+        predictor = pipeline.predictor()
+        predictor.predict_proba(texts, domains=domains)
+        state = predictor.backend_state()
+        assert state["kind"] == "remote"
+        assert state["circuit"] == "closed"
+        assert state["requests"] >= 1
