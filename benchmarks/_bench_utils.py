@@ -3,10 +3,16 @@ are unambiguous with the repository-root conftest.py)."""
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import platform
 import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback, best-effort only
+    fcntl = None
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -33,15 +39,46 @@ def bench_json_path(suite: str) -> str:
     return os.path.join(REPO_ROOT, f"BENCH_{suite}.json")
 
 
+@contextlib.contextmanager
+def _bench_lock(path: str):
+    """Exclusive advisory lock serialising read-merge-write on one record.
+
+    Two parallel sweep cells (or a perf lane racing the orchestrator) updating
+    the same ``BENCH_<suite>.json`` must not lose each other's keys: without
+    the lock both read the same baseline, merge disjoint entries and the
+    second ``os.replace`` silently drops the first writer's rows.  Uses a
+    sidecar ``.lock`` file so the lock survives the atomic replace of the
+    record itself (locking the record fd would pin the *old* inode).
+    """
+    if fcntl is None:  # non-POSIX: degrade to the old unlocked behaviour
+        yield
+        return
+    lock_path = f"{path}.lock"
+    with open(lock_path, "a+", encoding="utf-8") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 def record_bench(suite: str, entries: list[dict], merge: bool = True) -> str:
     """Merge benchmark ``entries`` into ``BENCH_<suite>.json`` and return the path.
 
     Each entry is a flat dict with at least a ``name`` key; entries replace any
     existing entry of the same name so repeated runs keep one row per
     benchmark.  The file keeps enough environment metadata to make numbers
-    comparable across PRs on the same machine.
+    comparable across PRs on the same machine.  Safe under concurrent writers:
+    the whole read-merge-write cycle holds an exclusive advisory lock, so
+    parallel processes interleave instead of losing keys.
     """
     path = bench_json_path(suite)
+    with _bench_lock(path):
+        return _record_bench_locked(suite, path, entries, merge)
+
+
+def _record_bench_locked(suite: str, path: str, entries: list[dict],
+                         merge: bool) -> str:
     environment = {
         "python": platform.python_version(),
         "machine": platform.machine(),

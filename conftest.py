@@ -47,3 +47,36 @@ def pytest_collection_modifyitems(config, items):
         # live there must run in the default (tier-1) collection.
         if item.get_closest_marker("perf") is not None:
             item.add_marker(skip_perf)
+
+
+# --------------------------------------------------------------------------- #
+# Shared per-test wall-clock watchdog                                          #
+# --------------------------------------------------------------------------- #
+#: suites whose tests spawn processes / inject faults and must fail rather
+#: than wedge the run when supervision breaks; relative to the repo root
+_WATCHDOG_SUITES = (
+    os.path.join("tests", "reliability"),
+    os.path.join("tests", "serve_server"),
+    os.path.join("tests", "experiments_orchestrator"),
+)
+
+
+@pytest.fixture(autouse=True)
+def _suite_watchdog(request):
+    """Per-test SIGALRM wall-clock limit for the process/chaos suites.
+
+    Applies only to the suites in ``_WATCHDOG_SUITES`` (a no-op elsewhere, so
+    plain unit tests pay nothing).  Override the 120s default per test with
+    ``@pytest.mark.watchdog(seconds)``.
+    """
+    path = str(getattr(request.node, "fspath", ""))
+    relative = os.path.relpath(path, os.path.dirname(__file__))
+    if not relative.startswith(_WATCHDOG_SUITES):
+        yield
+        return
+    from repro.reliability import watchdog
+
+    marker = request.node.get_closest_marker("watchdog")
+    seconds = float(marker.args[0]) if marker and marker.args else 120.0
+    with watchdog(seconds, message=f"test {request.node.nodeid}"):
+        yield

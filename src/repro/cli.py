@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli backends
     python -m repro.cli verify  --pipeline detector
     python -m repro.cli serve   --pipeline detector --workers 2 --port 8080
+    python -m repro.cli sweep   --tables table4 table5 --jobs 2 --journal runs/j1
+    python -m repro.cli sweep   --journal runs/j1 --resume
 
 Every table subcommand prints the corresponding paper-layout table and
 optionally writes the raw results as JSON (``--output``).  ``export`` trains a
@@ -309,6 +311,72 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Regenerate paper tables through the fault-tolerant parallel orchestrator."""
+    import os
+
+    from repro.experiments.journal import JournalError
+    from repro.experiments.orchestrator import (
+        TABLE_CELLS,
+        OrchestratorConfig,
+        SweepFailed,
+        run_sweep,
+        table_cell_specs,
+    )
+    from repro.reliability.durable import atomic_write_text
+    from repro.reliability.retry import RetryPolicy
+
+    if args.list:
+        for name, entry in TABLE_CELLS.items():
+            print(f"  {name:8s} -> benchmarks/results/{entry.output}.txt")
+        return 0
+
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.encoder_backend is not None:
+        overrides["encoder_backend"] = args.encoder_backend
+    # Pin the effective dtype into every cell spec: the journal fingerprint
+    # must distinguish a float32 sweep from a float64 one even when the
+    # choice came from the environment.
+    overrides["dtype"] = os.environ.get("REPRO_DTYPE", "float64")
+
+    try:
+        specs = table_cell_specs(args.tables, config=overrides)
+    except ValueError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(attempts=max(1, args.retries + 1),
+                            base_delay_s=0.05, max_delay_s=1.0,
+                            retry_on=(Exception,))
+    config = OrchestratorConfig(jobs=args.jobs, retry=retry,
+                                cell_timeout_s=args.cell_timeout,
+                                on_progress=lambda line: print(f"sweep: {line}"))
+    try:
+        sweep = run_sweep(specs, config=config, journal_dir=args.journal,
+                          resume=args.resume)
+    except (JournalError, SweepFailed) as error:
+        print(f"sweep: {' '.join(str(error).split())}", file=sys.stderr)
+        return 2
+
+    if args.results_dir:
+        os.makedirs(args.results_dir, exist_ok=True)
+        for payload in sweep.results.values():
+            if isinstance(payload, dict) and payload.get("text") and payload.get("output"):
+                target = os.path.join(args.results_dir, f"{payload['output']}.txt")
+                atomic_write_text(target, payload["text"] + "\n")
+                print(f"sweep: wrote {target}")
+    _maybe_save(sweep.results, args)
+    for outcome in sweep.failures:
+        print(f"sweep: {outcome.describe()}", file=sys.stderr)
+    return 0 if sweep.ok else 2
+
+
 def cmd_serve(args) -> int:
     """Serve an artifact over HTTP with the supervised worker pool."""
     import asyncio
@@ -456,6 +524,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline-ms", type=float, default=None,
                        help="default per-request deadline (default: none)")
     serve.set_defaults(handler=cmd_serve)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="regenerate paper tables via the parallel orchestrator "
+                      "(journaled, crash-resumable)")
+    sweep.add_argument("--tables", nargs="*", default=None,
+                       help="table cells to run (default: all; see --list)")
+    sweep.add_argument("--jobs", type=int, default=2,
+                       help="worker processes (0 = serial in-process; default: 2)")
+    sweep.add_argument("--journal", type=str, default=None,
+                       help="journal directory for crash-resume (default: none)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an existing journal, skipping completed cells")
+    sweep.add_argument("--retries", type=int, default=None,
+                       help="extra attempts per failing cell (default: 1)")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       help="per-cell wall-clock budget in seconds (default: none)")
+    sweep.add_argument("--results-dir", type=str, default=None,
+                       help="write each table's text to <dir>/<table>.txt")
+    sweep.add_argument("--list", action="store_true",
+                       help="list available table cells and exit")
+    sweep.add_argument("--scale", type=float, default=None,
+                       help="fraction of the paper-sized corpus (default per dataset)")
+    sweep.add_argument("--epochs", type=int, default=None)
+    sweep.add_argument("--encoder-backend", type=str, default=None)
+    sweep.add_argument("--output", type=str, default=None,
+                       help="write all raw cell results to this JSON file")
+    sweep.set_defaults(handler=cmd_sweep)
     return parser
 
 

@@ -28,6 +28,19 @@ from repro.experiments.io import (
     results_to_json,
     save_results,
 )
+from repro.experiments.journal import CellRecord, JournalError, RunJournal
+from repro.experiments.orchestrator import (
+    CellOutcome,
+    CellSpec,
+    OrchestratorConfig,
+    SweepFailed,
+    SweepResult,
+    register_cell_kind,
+    run_cell,
+    run_sweep,
+    sweep_fingerprint,
+    table_cell_specs,
+)
 from repro.experiments.tables import (
     FUNCTIONAL_COMPARISON,
     format_bias_audit,
@@ -50,4 +63,8 @@ __all__ = [
     "format_dataset_statistics", "format_case_study", "format_mixing_scores",
     "format_functional_comparison", "FUNCTIONAL_COMPARISON",
     "save_results", "load_results", "results_to_json", "report_to_dict",
+    "RunJournal", "CellRecord", "JournalError",
+    "CellSpec", "CellOutcome", "OrchestratorConfig", "SweepResult", "SweepFailed",
+    "register_cell_kind", "run_cell", "run_sweep", "sweep_fingerprint",
+    "table_cell_specs",
 ]

@@ -1,0 +1,255 @@
+"""Durable run journal for orchestrated experiment sweeps.
+
+A multi-hour sweep must survive the death of the process driving it.  The
+journal is the orchestrator's crash-consistency mechanism: one JSON file per
+sweep recording, for every cell, its spec fingerprint, status, attempt count
+and the SHA-256 digest of its persisted result.  The contract:
+
+* **Atomic + durable** — every update rewrites the journal through
+  :func:`repro.reliability.durable.atomic_write_text` (temp file + fsync +
+  rename), so a crash at any moment leaves either the previous journal or the
+  new one, never a truncated hybrid.  Cell results land in their own files
+  *before* the journal entry pointing at them, so a journal that says ``done``
+  always names a result that exists.
+* **Checksummed** — the journal embeds a SHA-256 over its own payload and each
+  cell entry records the digest of its result file; a flipped byte anywhere is
+  refused with a readable :class:`JournalError` naming the damaged file
+  instead of silently re-running the sweep (or crashing with a raw
+  traceback).
+* **Fingerprinted** — the journal records the sweep fingerprint (a content
+  hash over every cell spec).  Resuming against a journal written for a
+  different sweep is refused: silently mixing results from two different
+  experiment grids is worse than re-running one.
+* **Injectable** — reads and writes carry ``orchestrate.journal`` fault
+  points, so the chaos suite can prove that a crash mid-journal-write leaves
+  the previous journal usable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+from repro.experiments.io import load_results, save_results
+from repro.reliability.durable import atomic_write_text, sha256_bytes, sha256_file
+from repro.reliability.faults import fault_point
+
+#: journal file name inside the journal directory
+JOURNAL_FILE = "journal.json"
+#: per-cell result files live here, one JSON per completed cell
+CELLS_DIR = "cells"
+#: bump when the on-disk schema changes incompatibly
+JOURNAL_FORMAT_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """A journal (or one of its cell results) is unusable; the message says why."""
+
+
+@dataclass
+class CellRecord:
+    """One cell's journal entry (everything needed to decide skip vs re-run)."""
+
+    cell_id: str
+    fingerprint: str
+    status: str = "pending"           # "running" | "done" | "failed"
+    #: cumulative executions across every run/resume of this journal —
+    #: the cell-execution counter the resume tests pin
+    attempts: int = 0
+    result_digest: str | None = None
+    error: str | None = None
+    elapsed_s: float | None = None
+
+
+class RunJournal:
+    """The durable per-sweep ledger; every mutation lands atomically on disk."""
+
+    def __init__(self, directory: str | os.PathLike, sweep_fingerprint: str):
+        self.directory = os.fspath(directory)
+        self.path = os.path.join(self.directory, JOURNAL_FILE)
+        self.cells_dir = os.path.join(self.directory, CELLS_DIR)
+        self.sweep_fingerprint = sweep_fingerprint
+        self.records: dict[str, CellRecord] = {}
+
+    # ------------------------------------------------------------------ #
+    # Open / load                                                          #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, directory: str | os.PathLike,
+               sweep_fingerprint: str) -> "RunJournal":
+        """Start a fresh journal; refuses to clobber an existing one.
+
+        An existing journal means an earlier sweep left state behind —
+        overwriting it silently would destroy resumable work, so the caller
+        must either resume or point at a fresh directory.
+        """
+        directory = os.fspath(directory)
+        path = os.path.join(directory, JOURNAL_FILE)
+        if os.path.exists(path):
+            raise JournalError(
+                f"a run journal already exists at '{path}'; resume it "
+                "(resume=True / --resume) or choose a fresh journal directory")
+        journal = cls(directory, sweep_fingerprint)
+        journal._flush()
+        return journal
+
+    @classmethod
+    def resume(cls, directory: str | os.PathLike,
+               sweep_fingerprint: str) -> "RunJournal":
+        """Load an existing journal, verifying integrity and sweep identity."""
+        directory = os.fspath(directory)
+        path = os.path.join(directory, JOURNAL_FILE)
+        if not os.path.exists(path):
+            # Nothing to resume is not an error: first run with --resume.
+            journal = cls(directory, sweep_fingerprint)
+            journal._flush()
+            return journal
+        journal = cls._load(directory)
+        if journal.sweep_fingerprint != sweep_fingerprint:
+            raise JournalError(
+                f"run journal '{path}' was written for a different sweep "
+                f"(journal fingerprint {journal.sweep_fingerprint}, current "
+                f"sweep {sweep_fingerprint}); refusing to mix results — use a "
+                "fresh journal directory for a changed cell grid")
+        return journal
+
+    @classmethod
+    def _load(cls, directory: str) -> "RunJournal":
+        path = os.path.join(directory, JOURNAL_FILE)
+        fault_point("orchestrate.journal", op="read", path=path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise JournalError(
+                f"cannot read run journal '{path}': {error}") from error
+        try:
+            envelope = json.loads(raw)
+        except ValueError as error:
+            raise JournalError(
+                f"run journal '{path}' is not valid JSON ({error}); the file "
+                "is corrupt — restore it or start a fresh journal directory"
+            ) from error
+        if not isinstance(envelope, dict) or "payload" not in envelope:
+            raise JournalError(
+                f"run journal '{path}' has no payload; not a journal file")
+        version = envelope.get("format_version")
+        if version != JOURNAL_FORMAT_VERSION:
+            raise JournalError(
+                f"run journal '{path}' has format version {version!r}; this "
+                f"build reads version {JOURNAL_FORMAT_VERSION}")
+        payload = envelope["payload"]
+        expected = envelope.get("checksum")
+        actual = sha256_bytes(_canonical(payload).encode("utf-8"))
+        if actual != expected:
+            raise JournalError(
+                f"run journal '{path}' failed its checksum (recorded "
+                f"{str(expected)[:12]}…, actual {actual[:12]}…); the file is "
+                "corrupt — refusing to trust its completed-cell claims")
+        journal = cls(directory, payload.get("sweep_fingerprint", ""))
+        for cell_id, entry in payload.get("cells", {}).items():
+            journal.records[cell_id] = CellRecord(**entry)
+        return journal
+
+    # ------------------------------------------------------------------ #
+    # Mutation (each call lands atomically on disk)                        #
+    # ------------------------------------------------------------------ #
+    def begin(self, cell_id: str, fingerprint: str) -> CellRecord:
+        """Record one execution attempt starting (attempts is cumulative)."""
+        record = self.records.get(cell_id)
+        if record is None or record.fingerprint != fingerprint:
+            record = CellRecord(cell_id=cell_id, fingerprint=fingerprint)
+            self.records[cell_id] = record
+        record.status = "running"
+        record.attempts += 1
+        record.error = None
+        self._flush()
+        return record
+
+    def complete(self, cell_id: str, result, elapsed_s: float) -> CellRecord:
+        """Persist ``result`` then mark the cell done pointing at its digest.
+
+        Order matters for crash consistency: the result file is durable
+        before the journal claims it exists.
+        """
+        record = self.records[cell_id]
+        result_path = self.result_path(cell_id)
+        save_results(result, result_path)
+        record.result_digest = sha256_file(result_path)
+        record.status = "done"
+        record.error = None
+        record.elapsed_s = round(float(elapsed_s), 3)
+        self._flush()
+        return record
+
+    def fail(self, cell_id: str, error: str, elapsed_s: float | None = None) -> CellRecord:
+        record = self.records[cell_id]
+        record.status = "failed"
+        record.error = str(error)
+        if elapsed_s is not None:
+            record.elapsed_s = round(float(elapsed_s), 3)
+        self._flush()
+        return record
+
+    def _flush(self) -> None:
+        payload = {
+            "sweep_fingerprint": self.sweep_fingerprint,
+            "cells": {cell_id: asdict(record)
+                      for cell_id, record in sorted(self.records.items())},
+        }
+        envelope = {
+            "format_version": JOURNAL_FORMAT_VERSION,
+            "checksum": sha256_bytes(_canonical(payload).encode("utf-8")),
+            "payload": payload,
+        }
+        os.makedirs(self.directory, exist_ok=True)
+        fault_point("orchestrate.journal", op="write", path=self.path)
+        atomic_write_text(self.path, json.dumps(envelope, indent=2,
+                                                sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                              #
+    # ------------------------------------------------------------------ #
+    def result_path(self, cell_id: str) -> str:
+        return os.path.join(self.cells_dir, f"{_safe_name(cell_id)}.json")
+
+    def is_done(self, cell_id: str, fingerprint: str) -> bool:
+        record = self.records.get(cell_id)
+        return (record is not None and record.status == "done"
+                and record.fingerprint == fingerprint)
+
+    def load_result(self, cell_id: str):
+        """Load a completed cell's result, verifying its recorded digest."""
+        record = self.records.get(cell_id)
+        if record is None or record.status != "done":
+            raise JournalError(
+                f"cell '{cell_id}' has no completed result in journal "
+                f"'{self.path}'")
+        result_path = self.result_path(cell_id)
+        if not os.path.exists(result_path):
+            raise JournalError(
+                f"journal '{self.path}' marks cell '{cell_id}' done but its "
+                f"result file '{result_path}' is missing; the journal "
+                "directory was partially deleted — start fresh")
+        actual = sha256_file(result_path)
+        if actual != record.result_digest:
+            raise JournalError(
+                f"result file '{result_path}' for cell '{cell_id}' failed its "
+                f"checksum (recorded {str(record.result_digest)[:12]}…, actual "
+                f"{actual[:12]}…); the file is corrupt — refusing to resume "
+                "from damaged results")
+        return load_results(result_path)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view for diagnostics and tests."""
+        return {cell_id: asdict(record)
+                for cell_id, record in sorted(self.records.items())}
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _safe_name(cell_id: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in cell_id)

@@ -8,8 +8,12 @@ using ``SIGALRM``: if the block is still running when the timer fires, a
 pytest reports a normal failure (with the hanging frame in the traceback)
 instead of hanging forever.
 
-Used as an autouse fixture by ``tests/reliability`` and
-``tests/serve_server`` (the suites that spawn processes and block on queues).
+Used by the shared autouse fixture in the repository-root ``conftest.py``,
+which arms it for ``tests/reliability``, ``tests/serve_server`` and
+``tests/experiments_orchestrator`` (the suites that spawn processes and
+block on queues); individual tests override the 120 s default with
+``@pytest.mark.watchdog(seconds)``.  The orchestrator also uses it directly
+to bound serial cell execution (``OrchestratorConfig(cell_timeout_s=...)``).
 ``SIGALRM`` only exists on Unix and only the main thread can receive it; off
 the main thread (or on platforms without ``setitimer``) the watchdog degrades
 to a no-op rather than failing the caller.

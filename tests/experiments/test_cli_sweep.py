@@ -1,0 +1,56 @@
+"""The ``sweep`` CLI subcommand: listing, journaling, resume and exit codes."""
+
+import json
+import os
+
+from repro.cli import build_parser, main
+
+
+class TestSweepCli:
+    def test_parser_has_sweep_subcommand(self):
+        args = build_parser().parse_args(
+            ["sweep", "--tables", "table2", "--jobs", "0"])
+        assert args.handler.__name__ == "cmd_sweep"
+        assert args.jobs == 0 and args.tables == ["table2"]
+
+    def test_sweep_list_names_every_cell(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table5", "fig3"):
+            assert name in out
+        assert "benchmarks/results/" in out
+
+    def test_sweep_unknown_table_fails_readably(self, capsys):
+        assert main(["sweep", "--tables", "table99", "--jobs", "0"]) == 2
+        assert "table99" in capsys.readouterr().err
+
+    def test_sweep_serial_journal_resume_and_results_dir(self, tmp_path, capsys):
+        journal = tmp_path / "journal"
+        results_dir = tmp_path / "results"
+        argv = ["sweep", "--tables", "table2", "--jobs", "0",
+                "--journal", str(journal), "--results-dir", str(results_dir)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "ok   table2" in out
+        written = results_dir / "table2_functional_matrix.txt"
+        assert written.exists()
+        assert "functional comparison" in written.read_text(encoding="utf-8")
+
+        # same journal without --resume is refused with a one-line error
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert "already exists" in captured.err
+
+        # --resume reuses the journaled result instead of re-running
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "journaled result reused" in out
+
+    def test_sweep_output_saves_results_json(self, tmp_path, capsys):
+        target = tmp_path / "sweep.json"
+        assert main(["sweep", "--tables", "table2", "--jobs", "0",
+                     "--output", str(target)]) == 0
+        capsys.readouterr()
+        with open(target, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["table2"]["output"] == "table2_functional_matrix"

@@ -1,0 +1,9 @@
+"""Importing this module kills the process — restart-budget test fodder.
+
+SystemExit is a BaseException, so the sweep worker's per-cell/startup
+exception handling (``except Exception``) does not contain it: the worker
+dies before ever reporting ready, on every incarnation, which is how the
+suite exhausts the supervisor's respawn budget deterministically.
+"""
+
+raise SystemExit(3)

@@ -1,0 +1,86 @@
+"""Cell functions for the orchestrator suite, importable inside spawn workers.
+
+Referenced by dotted path (``"_sweep_cells:counting_cell"``): pytest puts this
+directory on ``sys.path`` when collecting the suite, and multiprocessing's
+spawn preparation ships the parent's ``sys.path`` to every worker, so the same
+path resolves in-process (serial ground truth) and in the pool.
+
+The cells coordinate with tests through files under ``params["dir"]`` — worker
+processes share no memory with the test, but they share a tmp directory:
+
+* ``counting_cell`` appends one line per execution to ``count_<cell>.log`` —
+  the *cell-execution counter* the resume tests pin (a journaled completed
+  cell must never run again).
+* ``flaky_cell`` counts its own invocations the same way and fails the first
+  ``fail_times`` of them — retry-budget behaviour independent of which worker
+  runs each attempt.
+* ``gated_cell`` writes a ``begin_<cell>_<pid>`` marker, then blocks while
+  ``params["block"]`` exists — giving the chaos test a window (and a pid) to
+  SIGKILL mid-cell.
+* ``sleepy_cell`` sleeps a fixed time — wall-clock watchdog fodder.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+
+
+def _count(directory: str, name: str) -> int:
+    """Append one execution line; return this execution's 1-based index."""
+    path = os.path.join(directory, f"count_{name}.log")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{os.getpid()}\n")
+    with open(path, "r", encoding="utf-8") as handle:
+        return len(handle.readlines())
+
+
+def executions(directory: str, name: str) -> int:
+    """How many times a counting/flaky cell has executed so far (0 if never)."""
+    path = os.path.join(directory, f"count_{name}.log")
+    if not os.path.exists(path):
+        return 0
+    with open(path, "r", encoding="utf-8") as handle:
+        return len(handle.readlines())
+
+
+def square_cell(spec):
+    x = spec.params["x"]
+    return {"x": x, "value": (x * 37 + 11) % 97}
+
+
+def counting_cell(spec):
+    _count(spec.params["dir"], spec.cell_id)
+    return square_cell(spec)
+
+
+def flaky_cell(spec):
+    tries = _count(spec.params["dir"], spec.cell_id)
+    if tries <= spec.params["fail_times"]:
+        raise RuntimeError(f"flaky cell failing on try {tries}")
+    return square_cell(spec)
+
+
+def begin_markers(directory: str, cell_id: str) -> list[int]:
+    """Pids of every execution a gated cell has started, oldest first."""
+    paths = glob.glob(os.path.join(directory, f"begin_{cell_id}_*"))
+    paths.sort(key=os.path.getmtime)
+    return [int(path.rsplit("_", 1)[1]) for path in paths]
+
+
+def gated_cell(spec):
+    params = spec.params
+    _count(params["dir"], spec.cell_id)
+    marker = os.path.join(params["dir"], f"begin_{spec.cell_id}_{os.getpid()}")
+    with open(marker, "w", encoding="utf-8"):
+        pass
+    deadline = time.monotonic() + 60.0
+    while os.path.exists(params["block"]) and time.monotonic() < deadline:
+        time.sleep(0.05)
+    return square_cell(spec)
+
+
+def sleepy_cell(spec):
+    time.sleep(spec.params["sleep_s"])
+    return square_cell(spec)

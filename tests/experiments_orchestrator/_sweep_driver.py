@@ -1,0 +1,48 @@
+"""Subprocess driver for the chaos-narrative test.
+
+Runs a journaled parallel sweep described by a JSON payload file.  Lives in
+its own process so the test can SIGKILL the *orchestrator itself* mid-sweep
+and prove the journal makes the run resumable.  Payload keys: ``specs``
+(list of ``{cell_id, kind, params}``), ``journal_dir``, ``jobs``, ``resume``,
+``attempts``, ``worker_modules``, ``sys_path``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(payload_path: str) -> int:
+    with open(payload_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    for entry in reversed(payload.get("sys_path", [])):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+    from repro.experiments.orchestrator import (
+        CellSpec,
+        OrchestratorConfig,
+        run_sweep,
+    )
+    from repro.reliability.retry import RetryPolicy
+
+    specs = [CellSpec(cell_id=spec["cell_id"], kind=spec["kind"],
+                      params=spec.get("params", {}))
+             for spec in payload["specs"]]
+    config = OrchestratorConfig(
+        jobs=payload.get("jobs", 2),
+        worker_modules=tuple(payload.get("worker_modules", ())),
+        retry=RetryPolicy(attempts=payload.get("attempts", 3),
+                          base_delay_s=0.0, max_delay_s=0.0, jitter=0.0,
+                          retry_on=(Exception,)),
+        on_progress=lambda line: print(f"driver: {line}", flush=True))
+    result = run_sweep(specs, config=config,
+                       journal_dir=payload["journal_dir"],
+                       resume=payload.get("resume", False))
+    print(json.dumps({"ok": result.ok, "results": result.results}), flush=True)
+    return 0 if result.ok else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))

@@ -1,0 +1,39 @@
+"""Fixtures for the parallel-orchestrator suite.
+
+Sweep cells install process-global state (dtype policy, global seed) — fine in
+a worker process, but the serial ground-truth path runs them *in this
+process*, so every test saves and restores the RNG stream and the engine
+dtype.  Per-test wall-clock limits come from the repository-root conftest's
+shared ``_suite_watchdog`` fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import active_plan
+from repro.reliability.retry import RetryPolicy
+from repro.tensor import get_default_dtype, set_default_dtype
+from repro.utils import get_rng_state, set_rng_state
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_state():
+    """Restore RNG stream + engine dtype; assert no FaultPlan leaked."""
+    rng_state = get_rng_state()
+    dtype = get_default_dtype()
+    yield
+    set_default_dtype(dtype)
+    set_rng_state(rng_state)
+    assert active_plan() is None, "a FaultPlan leaked out of its inject() block"
+
+
+@pytest.fixture
+def fast_policy():
+    """Factory for retry policies with no real backoff (tests stay fast)."""
+
+    def build(attempts: int = 2) -> RetryPolicy:
+        return RetryPolicy(attempts=attempts, base_delay_s=0.0,
+                           max_delay_s=0.0, jitter=0.0, retry_on=(Exception,))
+
+    return build

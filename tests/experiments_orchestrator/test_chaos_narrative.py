@@ -1,0 +1,197 @@
+"""The full disaster narrative the orchestrator exists for.
+
+Start a journaled parallel sweep in a subprocess → SIGKILL the worker running
+a cell mid-execution (supervisor respawns + re-dispatches it) → SIGKILL the
+orchestrator itself → resume → every journaled completed cell is skipped
+(pinned by the cells' own execution counters) and the final results are
+byte-identical to an uninterrupted serial run.  Plus the flaky-cell pair:
+one that succeeds inside the retry budget and one that exhausts it with a
+readable per-cell failure report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import _sweep_cells
+from repro.experiments.journal import JOURNAL_FILE
+from repro.experiments.orchestrator import (
+    CellSpec,
+    OrchestratorConfig,
+    run_sweep,
+)
+
+CELLS = "_sweep_cells"
+SUITE_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(SUITE_DIR)), "src")
+
+
+def _narrative_specs(work_dir: str, block: str):
+    return [
+        CellSpec("c0", f"{CELLS}:counting_cell", {"x": 0, "dir": work_dir}),
+        CellSpec("c1", f"{CELLS}:counting_cell", {"x": 1, "dir": work_dir}),
+        CellSpec("gated", f"{CELLS}:gated_cell",
+                 {"x": 2, "dir": work_dir, "block": block}),
+        CellSpec("c3", f"{CELLS}:counting_cell", {"x": 3, "dir": work_dir}),
+    ]
+
+
+def _dumps(result):
+    return json.dumps(result.results, sort_keys=True)
+
+
+def _wait_for(predicate, timeout_s: float, what: str):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.05)
+    raise AssertionError(f"timed out after {timeout_s}s waiting for {what}")
+
+
+def _journal_done_cells(journal_dir: str) -> set:
+    path = os.path.join(journal_dir, JOURNAL_FILE)
+    if not os.path.exists(path):
+        return set()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except ValueError:  # mid-replace glimpse; atomic writes make this transient
+        return set()
+    cells = envelope.get("payload", {}).get("cells", {})
+    return {cell_id for cell_id, record in cells.items()
+            if record.get("status") == "done"}
+
+
+@pytest.mark.watchdog(240)
+def test_sigkill_worker_then_orchestrator_then_resume(tmp_path):
+    serial_dir = tmp_path / "serial_world"
+    par_dir = tmp_path / "par_world"
+    journal_dir = tmp_path / "journal"
+    serial_dir.mkdir(), par_dir.mkdir()
+    block = par_dir / "block"
+
+    # Ground truth: uninterrupted serial run (its own world dir, no block
+    # file, so the gated cell returns immediately).
+    serial = run_sweep(
+        _narrative_specs(str(serial_dir), str(serial_dir / "no-block")),
+        config=OrchestratorConfig(jobs=0))
+    assert serial.ok
+
+    # Launch the journaled parallel sweep in its own process.  The gated
+    # cell blocks while the block file exists — the chaos window.
+    block.touch()
+    par_specs = _narrative_specs(str(par_dir), str(block))
+    payload = {
+        "specs": [{"cell_id": s.cell_id, "kind": s.kind, "params": s.params}
+                  for s in par_specs],
+        "journal_dir": str(journal_dir),
+        "jobs": 2,
+        "attempts": 3,
+        "worker_modules": [CELLS],
+        "sys_path": [SRC_DIR, SUITE_DIR],
+    }
+    payload_path = tmp_path / "payload.json"
+    payload_path.write_text(json.dumps(payload), encoding="utf-8")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_DIR, SUITE_DIR] + env.get("PYTHONPATH", "").split(os.pathsep))
+    driver = subprocess.Popen(
+        [sys.executable, os.path.join(SUITE_DIR, "_sweep_driver.py"),
+         str(payload_path)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        # Act 1 — SIGKILL the worker mid-cell.  The begin marker names the
+        # worker pid currently inside the gated cell.
+        pids = _wait_for(
+            lambda: _sweep_cells.begin_markers(str(par_dir), "gated"),
+            60.0, "the gated cell to start")
+        os.kill(pids[0], signal.SIGKILL)
+
+        # The supervisor must respawn the slot and re-dispatch the cell:
+        # a second begin marker with a different pid.
+        pids = _wait_for(
+            lambda: (lambda p: p if len(p) >= 2 else None)(
+                _sweep_cells.begin_markers(str(par_dir), "gated")),
+            60.0, "the gated cell to be re-dispatched after the worker kill")
+        assert pids[1] != pids[0], "re-dispatch must land on a fresh worker"
+
+        # Act 2 — SIGKILL the orchestrator itself once the journal shows all
+        # the fast cells completed (the gated cell is still blocked).
+        _wait_for(lambda: {"c0", "c1", "c3"} <= _journal_done_cells(str(journal_dir)),
+                  60.0, "the fast cells to be journaled done")
+        driver.kill()
+        driver.wait(timeout=30)
+    finally:
+        if driver.poll() is None:  # pragma: no cover - cleanup on failure only
+            driver.kill()
+            driver.wait(timeout=30)
+
+    executions_before = {cell: _sweep_cells.executions(str(par_dir), cell)
+                         for cell in ("c0", "c1", "c3")}
+    assert executions_before == {"c0": 1, "c1": 1, "c3": 1}
+
+    # Act 3 — resume.  Unblock the gated cell; the resume must skip every
+    # journaled completed cell and finish only the interrupted one.
+    block.unlink()
+    resumed = run_sweep(par_specs, config=OrchestratorConfig(
+        jobs=2, worker_modules=(CELLS,)),
+        journal_dir=journal_dir, resume=True)
+    assert resumed.ok
+    by_id = {o.spec.cell_id: o for o in resumed.outcomes}
+    assert {cell: by_id[cell].status for cell in ("c0", "c1", "c3")} == {
+        "c0": "cached", "c1": "cached", "c3": "cached"}
+    assert by_id["gated"].status == "done"
+    # cell-execution counters: completed cells never ran again
+    assert {cell: _sweep_cells.executions(str(par_dir), cell)
+            for cell in ("c0", "c1", "c3")} == executions_before
+    # the gated cell's journal counts every attempt across the whole story:
+    # the killed one, the re-dispatch, and the resume
+    assert by_id["gated"].total_attempts == 3
+
+    # Byte-identical to the uninterrupted serial run.
+    assert _dumps(resumed) == _dumps(serial)
+
+
+def test_flaky_cells_within_and_beyond_the_retry_budget(tmp_path, fast_policy):
+    specs = [
+        CellSpec("ok", f"{CELLS}:counting_cell", {"x": 5, "dir": str(tmp_path)}),
+        CellSpec("flaky-recovers", f"{CELLS}:flaky_cell",
+                 {"x": 6, "dir": str(tmp_path), "fail_times": 1}),
+        CellSpec("flaky-hopeless", f"{CELLS}:flaky_cell",
+                 {"x": 7, "dir": str(tmp_path), "fail_times": 99}),
+    ]
+    result = run_sweep(specs, config=OrchestratorConfig(
+        jobs=2, worker_modules=(CELLS,), retry=fast_policy(attempts=3)),
+        journal_dir=tmp_path / "journal")
+    by_id = {o.spec.cell_id: o for o in result.outcomes}
+    assert by_id["ok"].status == "done" and by_id["ok"].attempts == 1
+    # succeeded inside the budget: one failure + one success
+    assert by_id["flaky-recovers"].status == "done"
+    assert by_id["flaky-recovers"].attempts == 2
+    # exhausted the budget: failed with a readable one-line report
+    hopeless = by_id["flaky-hopeless"]
+    assert hopeless.status == "failed" and hopeless.attempts == 3
+    line = hopeless.describe()
+    assert "flaky-hopeless" in line and "3 attempt" in line
+    assert "flaky cell failing on try 3" in line
+    # the flaky cell's own invocation counter agrees with the orchestrator's
+    assert _sweep_cells.executions(str(tmp_path), "flaky-hopeless") == 3
+    # completed cells are kept: a resume skips them and retries only the
+    # failed one (which then fails again — its counter proves it re-ran)
+    resumed = run_sweep(specs, config=OrchestratorConfig(
+        jobs=0, retry=fast_policy(attempts=1)),
+        journal_dir=tmp_path / "journal", resume=True)
+    by_id = {o.spec.cell_id: o for o in resumed.outcomes}
+    assert by_id["ok"].status == "cached"
+    assert by_id["flaky-recovers"].status == "cached"
+    assert by_id["flaky-hopeless"].status == "failed"
+    assert by_id["flaky-hopeless"].total_attempts == 4

@@ -21,7 +21,7 @@ from repro.encoders import (
     style_feature_extractor,
 )
 from repro.models import ModelConfig, build_model
-from repro.reliability import active_plan, watchdog
+from repro.reliability import active_plan
 from repro.serve import Pipeline, save_pipeline
 from repro.utils import get_rng_state, set_global_seed, set_rng_state
 
@@ -35,16 +35,8 @@ def _isolate_global_state():
     assert active_plan() is None, "a FaultPlan leaked out of its inject() block"
 
 
-@pytest.fixture(autouse=True)
-def _test_watchdog(request):
-    """Wall-clock limit per test: chaos tests that hang must fail, not wedge CI.
-
-    Override per test with ``@pytest.mark.watchdog(seconds)``.
-    """
-    marker = request.node.get_closest_marker("watchdog")
-    seconds = float(marker.args[0]) if marker and marker.args else 120.0
-    with watchdog(seconds, message=f"test {request.node.nodeid}"):
-        yield
+# Per-test wall-clock limits come from the repository-root conftest's shared
+# ``_suite_watchdog`` fixture (override with ``@pytest.mark.watchdog(s)``).
 
 
 @dataclass

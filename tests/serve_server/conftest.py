@@ -11,18 +11,11 @@ from __future__ import annotations
 import pytest
 
 from repro.models import build_model
-from repro.reliability import watchdog
 from repro.serve import Pipeline, load_pipeline, save_pipeline
 from repro.utils import set_global_seed
 
-
-@pytest.fixture(autouse=True)
-def _test_watchdog(request):
-    """Per-test wall-clock limit (override with ``@pytest.mark.watchdog(s)``)."""
-    marker = request.node.get_closest_marker("watchdog")
-    seconds = float(marker.args[0]) if marker and marker.args else 120.0
-    with watchdog(seconds, message=f"test {request.node.nodeid}"):
-        yield
+# Per-test wall-clock limits come from the repository-root conftest's shared
+# ``_suite_watchdog`` fixture (override with ``@pytest.mark.watchdog(s)``).
 
 
 @pytest.fixture(scope="module")
