@@ -438,6 +438,126 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _stream_ring_loader(pipeline, events, buffer_size: int, seed: int):
+    """A ring-buffer training loader prefilled from the schedule itself.
+
+    Rows come from the schedule's labeled events for domains the pipeline
+    already knows (in-distribution and in-vocab by construction), cycled to
+    fill ``buffer_size`` rows; :class:`repro.data.StreamWindowBuffer` then
+    overwrites them with live feedback during the run.
+    """
+    from repro.data.dataset import MultiDomainNewsDataset, NewsItem
+    from repro.data.loader import DataLoader
+
+    known = list(pipeline.domain_names)
+    labeled = [event for event in events
+               if event.label is not None and event.domain in known]
+    if not labeled:
+        raise ValueError("--adapt needs labeled events for known domains "
+                         "in the schedule to seed the feedback buffer")
+    items = [NewsItem(text=event.text, label=int(event.label),
+                      domain=known.index(event.domain),
+                      domain_name=event.domain, item_id=event.ordinal)
+             for index, event in enumerate(labeled * buffer_size)
+             if index < buffer_size]
+    dataset = MultiDomainNewsDataset(items, domain_names=known,
+                                     name="stream-buffer")
+    return DataLoader(dataset, pipeline.vocab, max_length=pipeline.max_length,
+                      batch_size=min(32, buffer_size), shuffle=True, seed=seed,
+                      tokenizer=pipeline.tokenizer,
+                      channels=pipeline.resolve_channels())
+
+
+def cmd_stream(args) -> int:
+    """Generate a domain-shift schedule, or replay one against a pipeline."""
+    from repro.experiments.stream_schedule import (
+        StreamScheduleConfig,
+        generate_stream_schedule,
+    )
+    from repro.streaming import (
+        AdapterConfig,
+        DriftConfig,
+        DriftMonitor,
+        OnlineAdapter,
+        StreamConfig,
+        StreamRunner,
+        load_schedule,
+        save_schedule,
+    )
+
+    if args.make_schedule:
+        config = StreamScheduleConfig(
+            dataset=args.dataset, seed=args.seed,
+            **({"scale": args.scale} if args.scale is not None else {}),
+            drift_domain=args.drift_domain, novel_domain=args.novel_domain)
+        events, metadata = generate_stream_schedule(config)
+        save_schedule(events, args.make_schedule, metadata=metadata)
+        labeled = sum(1 for event in events if event.label is not None)
+        print(f"[wrote {len(events)} events ({labeled} labeled) to "
+              f"{args.make_schedule}; drift={config.drift_domain} "
+              f"novel={config.novel_domain}]")
+        return 0
+
+    if not args.pipeline or not args.schedule:
+        print("stream: replay needs --pipeline and --schedule "
+              "(or use --make-schedule)", file=sys.stderr)
+        return 2
+    from repro.serve import PipelineError, load_pipeline
+
+    try:
+        events, _ = load_schedule(args.schedule)
+    except ValueError as error:
+        print(f"stream: {' '.join(str(error).split())}", file=sys.stderr)
+        return 2
+    try:
+        pipeline = load_pipeline(args.pipeline)
+    except PipelineError as error:
+        print(f"stream: {' '.join(str(error).split())}", file=sys.stderr)
+        return 2
+
+    monitor = DriftMonitor(pipeline.domain_names, DriftConfig(
+        psi_threshold=args.psi_threshold, bias_threshold=args.bias_threshold))
+    adapter = None
+    if args.adapt:
+        export_path = args.export_path or args.pipeline.rstrip("/") + "-stream"
+        try:
+            loader = _stream_ring_loader(pipeline, events, args.buffer,
+                                         seed=args.seed)
+        except ValueError as error:
+            print(f"stream: {error}", file=sys.stderr)
+            return 2
+        adapter = OnlineAdapter(pipeline, loader, AdapterConfig(
+            export_path=export_path, min_feedback=args.min_feedback))
+    runner = StreamRunner(pipeline.predictor(), monitor, adapter,
+                          StreamConfig(max_batch=args.max_batch))
+    try:
+        report = runner.run(events)
+    except ValueError as error:
+        print(f"stream: {' '.join(str(error).split())}", file=sys.stderr)
+        return 2
+
+    print(f"[streamed {report.events} events: {report.served} served, "
+          f"{report.failed} failed, {report.skipped_unknown_domain} skipped "
+          "(unknown domain)]")
+    for entry in report.drift_events:
+        print(f"  drift  @{entry['ordinal']:6d}  {entry['kind']:12s} "
+              f"{entry['domain']:14s} value={entry['value']:.3f} "
+              f"threshold={entry['threshold']:.2f}")
+    for entry in report.adaptations:
+        print(f"  adapt  @{entry['ordinal']:6d}  items={entry['items']:3d} "
+              f"loss={entry['losses'][-1]:.4f} -> {entry['fingerprint']}  "
+              f"({entry['reason']})")
+    for entry in report.onboardings:
+        print(f"  onboard@{entry['ordinal']:6d}  {entry['domain']} "
+              f"(domain {entry['domain_index']}, donor {entry['donor']}) "
+              f"-> {entry['fingerprint']}")
+    if adapter is not None:
+        print(f"[final artifact: {adapter.config.export_path} "
+              f"fingerprint={report.final_fingerprint}]")
+    _maybe_save(report.as_dict(), args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -524,6 +644,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline-ms", type=float, default=None,
                        help="default per-request deadline (default: none)")
     serve.set_defaults(handler=cmd_serve)
+
+    stream = subparsers.add_parser(
+        "stream", help="replay a domain-shift event schedule against a "
+                       "pipeline (drift monitoring, optional adaptation)")
+    stream.add_argument("--pipeline", type=str, default=None,
+                        help="artifact directory written by 'export'")
+    stream.add_argument("--schedule", type=str, default=None,
+                        help="schedule file written by --make-schedule")
+    stream.add_argument("--make-schedule", type=str, default=None,
+                        help="generate a synthetic schedule to this file and exit")
+    stream.add_argument("--dataset", choices=("chinese", "english"),
+                        default="chinese")
+    stream.add_argument("--scale", type=float, default=None,
+                        help="corpus scale for --make-schedule (match the "
+                             "pipeline's training scale)")
+    stream.add_argument("--seed", type=int, default=2024)
+    stream.add_argument("--drift-domain", type=str, default="disaster",
+                        help="domain drifting in phase B (default: disaster)")
+    stream.add_argument("--novel-domain", type=str, default="crypto",
+                        help="unseen domain arriving in phase C (default: crypto)")
+    stream.add_argument("--adapt", action="store_true",
+                        help="react to drift/onboarding with incremental "
+                             "fine-tuning and hot reloads")
+    stream.add_argument("--export-path", type=str, default=None,
+                        help="artifact directory re-exports land in "
+                             "(default: <pipeline>-stream)")
+    stream.add_argument("--buffer", type=int, default=64,
+                        help="feedback ring-buffer rows for --adapt (default: 64)")
+    stream.add_argument("--min-feedback", type=int, default=8,
+                        help="labeled items required per adaptation (default: 8)")
+    stream.add_argument("--max-batch", type=int, default=16,
+                        help="scoring micro-batch width (default: 16)")
+    stream.add_argument("--psi-threshold", type=float, default=0.25)
+    stream.add_argument("--bias-threshold", type=float, default=0.25)
+    stream.add_argument("--output", type=str, default=None,
+                        help="write the stream report to this JSON file")
+    stream.set_defaults(handler=cmd_stream)
 
     sweep = subparsers.add_parser(
         "sweep", help="regenerate paper tables via the parallel orchestrator "

@@ -150,6 +150,8 @@ class TeacherCache:
         self._batch_size = batch_size
         self._logits: np.ndarray | None = None
         self._features: np.ndarray | None = None
+        self._invalid_windows: set[int] = set()
+        self.recomputed_windows = 0
 
     @property
     def window_size(self) -> int:
@@ -172,10 +174,76 @@ class TeacherCache:
         """Whether the full-dataset pass has run since the last invalidation."""
         return self._logits is not None
 
-    def invalidate(self) -> None:
-        """Drop the cached arrays; the next lookup recomputes the full pass."""
-        self._logits = None
-        self._features = None
+    def invalidate(self, indices=None) -> None:
+        """Invalidate cached rows; the next lookup recomputes what's needed.
+
+        With ``indices=None`` (the legacy all-or-nothing behaviour) the cached
+        arrays are dropped and the next lookup redoes the full-dataset pass.
+        With a sequence of absolute dataset positions, only the
+        materialisation *windows* containing those rows are marked stale and
+        lazily re-forwarded in place on the next lookup — rows in untouched
+        windows are never rewritten, so they stay bit-identical by
+        construction.  Window granularity (not row granularity) is forced by
+        the batch-shape bit-exactness contract: a stale row can only be
+        recomputed inside the same full-size window it was originally
+        forwarded with.
+        """
+        if indices is None:
+            self._logits = None
+            self._features = None
+            self._invalid_windows.clear()
+            return
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if indices.size == 0:
+            return
+        total = self.loader.num_samples
+        if int(indices.min()) < 0 or int(indices.max()) >= total:
+            raise IndexError(
+                f"invalidate indices [{int(indices.min())}, "
+                f"{int(indices.max())}] outside the dataset of {total} samples")
+        if self._logits is None:
+            return  # nothing materialised yet; the first lookup is fresh anyway
+        window = self.window_size
+        nfull = (total - window) // window + 1 if total >= window else 0
+        for row in {int(r) for r in indices}:
+            # Rows past the last aligned window live in the overlapping tail
+            # pass (window id ``nfull``); everything else maps by division.
+            self._invalid_windows.add(row // window if row < nfull * window
+                                      else nfull)
+
+    def _recompute_invalid(self) -> None:
+        """Re-forward stale windows in place (same shapes as `_materialise`)."""
+        if not self._invalid_windows:
+            return
+        was_training = self.teacher.training
+        if was_training:
+            self.teacher.eval()
+        total = self.loader.num_samples
+        window = self.window_size
+        nfull = (total - window) // window + 1 if total >= window else 0
+        remainder = total % window
+        with no_grad():
+            for window_id in sorted(self._invalid_windows):
+                if window_id < nfull:
+                    start = window_id * window
+                    logits, features = self.teacher.forward_with_features(
+                        self.loader.window(start, start + window))
+                    self._logits[start:start + window] = logits.numpy()
+                    self._features[start:start + window] = features.numpy()
+                else:
+                    # Overlapping tail pass: keep only the trailing rows not
+                    # covered by an aligned window, exactly as materialisation
+                    # does.
+                    logits, features = self.teacher.forward_with_features(
+                        self.loader.window(total - window, total))
+                    self._logits[total - remainder:] = \
+                        logits.numpy()[window - remainder:]
+                    self._features[total - remainder:] = \
+                        features.numpy()[window - remainder:]
+                self.recomputed_windows += 1
+        if was_training:
+            self.teacher.train()
+        self._invalid_windows.clear()
 
     def _materialise(self) -> None:
         was_training = self.teacher.training
@@ -215,6 +283,8 @@ class TeacherCache:
         """
         if self._logits is None:
             self._materialise()
+        else:
+            self._recompute_invalid()
         indices = np.asarray(batch.indices)
         if indices.size and (int(indices.min()) < 0
                              or int(indices.max()) >= self._logits.shape[0]):

@@ -171,17 +171,30 @@ class DTDBDTrainer:
                 if self.config.use_dkd else None)
         return self._teacher_caches[key]
 
-    def invalidate_teacher_caches(self) -> None:
-        """Drop every cached teacher output (e.g. after mutating a teacher).
+    def invalidate_teacher_caches(self, indices=None) -> None:
+        """Invalidate cached teacher outputs (e.g. after mutating fresh data).
 
-        The next training epoch re-runs the full-dataset teacher passes.  This
-        is never needed inside a normal :meth:`fit` — both teachers are frozen
-        — but ad-hoc callers that reload teacher weights or re-encode a loader
+        With ``indices=None``, drop every cached teacher output: the next
+        training epoch re-runs the full-dataset teacher passes.  This is never
+        needed inside a normal :meth:`fit` — both teachers are frozen — but
+        ad-hoc callers that reload teacher weights or re-encode a loader
         between epochs must invalidate before continuing.  The per-loader
         entries (and their loader references) are released outright, so a
         trainer cycled across many loaders does not pin them all.
+
+        With a sequence of absolute dataset positions (the streaming
+        ``OnlineAdapter`` path, where a ring buffer overwrote a handful of
+        rows in place), only the :class:`TeacherCache` windows containing
+        those rows go stale; everything else keeps serving the original
+        arrays bit-identically.
         """
-        self._teacher_caches.clear()
+        if indices is None:
+            self._teacher_caches.clear()
+            return
+        for unbiased_cache, clean_cache in self._teacher_caches.values():
+            for cache in (unbiased_cache, clean_cache):
+                if cache is not None:
+                    cache.invalidate(indices)
 
     # ------------------------------------------------------------------ #
     def _batch_loss(self, batch,

@@ -10,6 +10,7 @@ from repro.data.dataset import (
 )
 from repro.data.loader import Batch, DataLoader
 from repro.data.splits import DatasetSplits, stratified_split
+from repro.data.streambuffer import StreamWindowBuffer
 from repro.data.statistics import (
     DomainStatistics,
     dataset_statistics_table,
@@ -40,6 +41,7 @@ __all__ = [
     "encode_texts",
     "Batch", "DataLoader",
     "DatasetSplits", "stratified_split",
+    "StreamWindowBuffer",
     "DomainStatistics", "domain_statistics", "dataset_statistics_table", "imbalance_summary",
     "DomainSpec", "SyntheticCorpusConfig", "SyntheticNewsGenerator", "CaseStudyItem",
     "WEIBO21_DOMAIN_SPECS", "ENGLISH_DOMAIN_SPECS",

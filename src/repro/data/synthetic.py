@@ -277,6 +277,67 @@ class SyntheticNewsGenerator:
         domain_names = [spec.name for spec in self._specs]
         return MultiDomainNewsDataset(items, domain_names, name=self.config.name)
 
+    def sample_item(self, domain_name: str, label: int, item_id: int,
+                    force_ambiguous: bool = False) -> NewsItem:
+        """One extra item from a configured domain (stream-schedule hook).
+
+        Draws from the generator's single RNG stream, so a schedule built by
+        interleaving :meth:`sample_item` calls after :meth:`generate` is
+        deterministic from the corpus seed.  ``force_ambiguous=True`` drops
+        the shared veracity signal *and* the domain cue — the item is then
+        classifiable only from its domain prior, which is how the drift
+        scenarios manufacture windows whose error rates diverge.
+        """
+        names = [spec.name for spec in self._specs]
+        if domain_name not in names:
+            raise ValueError(
+                f"unknown domain '{domain_name}'; configured domains: {names}")
+        return self._generate_item(names.index(domain_name), label, item_id,
+                                   force_ambiguous=force_ambiguous)
+
+    def sample_novel_item(self, name: str, label: int, item_id: int,
+                          domain: int = -1) -> NewsItem:
+        """An item from a domain that did not exist at corpus-build time.
+
+        Topic tokens are ``{name}_topic{i}`` — out-of-vocabulary for any
+        vocabulary built before onboarding, so they encode to UNK — while the
+        shared veracity signal, emotion, style and common tokens come from
+        the in-vocab pools: the only learnable content is the cross-domain
+        signal, exactly the situation a few-shot onboarded domain is in.
+        ``domain`` is the integer index the caller assigned the new domain
+        (unknown to this generator's specs).
+        """
+        cfg = self.config
+        rng = self._rng
+        tokens: list[str] = []
+        n_topic = max(3, rng.poisson(cfg.mean_topic_tokens))
+        tokens.extend(f"{name}_topic{i}"
+                      for i in self._zipf_choice(cfg.topic_vocab_size, n_topic))
+        n_signal = rng.integers(3, 6)
+        tokens.extend(self._shared_signal_token(label, i)
+                      for i in rng.integers(0, cfg.shared_signal_vocab_size, n_signal))
+        if rng.random() < cfg.emotion_strength:
+            emotion_label = label if rng.random() < cfg.emotion_label_consistency else 1 - label
+            tokens.extend(self._emotion_token(emotion_label, i)
+                          for i in rng.integers(0, cfg.emotion_vocab_size,
+                                                rng.integers(1, 4)))
+        style_label = label if rng.random() < cfg.style_label_consistency else 1 - label
+        tokens.extend(self._style_token(style_label, i)
+                      for i in rng.integers(0, cfg.style_vocab_size,
+                                            rng.integers(1, 3)))
+        n_common = max(2, rng.poisson(cfg.mean_common_tokens))
+        tokens.extend(self._common_token(i)
+                      for i in rng.integers(0, cfg.common_vocab_size, n_common))
+        rng.shuffle(tokens)
+        return NewsItem(
+            text=" ".join(tokens),
+            label=label,
+            domain=domain,
+            domain_name=name,
+            item_id=item_id,
+            metadata={"novel_domain": True},
+        )
+
     def generate_case_study(self) -> list[CaseStudyItem]:
         """Probe items mirroring the three cases of Figure 3.
 

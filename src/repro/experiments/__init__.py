@@ -41,6 +41,10 @@ from repro.experiments.orchestrator import (
     sweep_fingerprint,
     table_cell_specs,
 )
+from repro.experiments.stream_schedule import (
+    StreamScheduleConfig,
+    generate_stream_schedule,
+)
 from repro.experiments.tables import (
     FUNCTIONAL_COMPARISON,
     format_bias_audit,
@@ -67,4 +71,5 @@ __all__ = [
     "CellSpec", "CellOutcome", "OrchestratorConfig", "SweepResult", "SweepFailed",
     "register_cell_kind", "run_cell", "run_sweep", "sweep_fingerprint",
     "table_cell_specs",
+    "StreamScheduleConfig", "generate_stream_schedule",
 ]

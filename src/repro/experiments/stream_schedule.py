@@ -1,0 +1,165 @@
+"""Synthetic domain-shift schedules for the streaming subsystem.
+
+A *stream schedule* is an ordered list of
+:class:`~repro.streaming.StreamEvent`\\ s replaying three phases of a
+production day gone wrong:
+
+* **Phase A — steady state.**  Traffic from the seed domains, mixed
+  proportionally to the paper's per-domain volumes, labels following each
+  domain's fake ratio, only a fraction of events labeled (labels trail
+  traffic in production).
+* **Phase B — drift.**  One domain's content turns *ambiguous*
+  (``force_ambiguous=True``: no shared veracity signal, no domain cue — only
+  the domain prior remains) while its label mix flips **against** that
+  prior.  A model leaning on the prior mislabels the window, its per-domain
+  FNR/FPR deviates from the pooled rates, its score distribution shifts —
+  both :class:`~repro.streaming.DriftMonitor` signals have something to
+  fire on.  Mostly labeled, so the bias signal is live.
+* **Phase C — novel domain.**  Events from a domain that did not exist at
+  training time (:meth:`~repro.data.SyntheticNewsGenerator.sample_novel_item`:
+  out-of-vocabulary topic tokens, in-vocab shared veracity signal).  The
+  first ``novel_labeled`` events carry labels for few-shot warm-up; the
+  rest are unlabeled tracking traffic.
+
+The schedule is a pure function of the config (single seeded RNG + the
+corpus generator's own stream), so replays are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.data.dataset import FAKE_LABEL, REAL_LABEL
+from repro.data.synthetic import (
+    ENGLISH_DOMAIN_SPECS,
+    WEIBO21_DOMAIN_SPECS,
+    SyntheticCorpusConfig,
+    SyntheticNewsGenerator,
+)
+from repro.streaming.events import StreamEvent
+
+
+@dataclass
+class StreamScheduleConfig:
+    """Shape of one synthetic domain-shift schedule."""
+
+    #: "chinese" (Weibo21-like, nine domains) or "english" (three domains)
+    dataset: str = "chinese"
+    #: corpus scale — match the trained model's corpus so tokens are in-vocab
+    scale: float = 0.05
+    seed: int = 2024
+    #: event counts per phase
+    seed_events: int = 96
+    drift_events: int = 64
+    novel_events: int = 24
+    #: the domain whose traffic turns ambiguous in phase B
+    drift_domain: str = "disaster"
+    #: share of phase-B events from the drifting domain (rest is background)
+    drift_share: float = 0.75
+    #: probability a drift item's label opposes the domain prior
+    drift_label_flip: float = 0.85
+    #: the unseen domain of phase C
+    novel_domain: str = "crypto"
+    #: labeled fraction of phase-A (and phase-B background) traffic
+    labeled_fraction: float = 0.5
+    #: labeled fraction of phase-B drift-domain traffic
+    drift_labeled_fraction: float = 0.9
+    #: the first N phase-C events carry labels (few-shot warm-up budget)
+    novel_labeled: int = 8
+
+    def __post_init__(self):
+        if self.dataset not in ("chinese", "english"):
+            raise ValueError(
+                f"dataset must be 'chinese' or 'english', got '{self.dataset}'")
+        if not 0.0 < self.drift_share <= 1.0:
+            raise ValueError("drift_share must be in (0, 1]")
+        for name in ("seed_events", "drift_events", "novel_events"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def domain_specs(self):
+        return (WEIBO21_DOMAIN_SPECS if self.dataset == "chinese"
+                else ENGLISH_DOMAIN_SPECS)
+
+
+def generate_stream_schedule(
+        config: StreamScheduleConfig | None = None,
+) -> "tuple[list[StreamEvent], dict]":
+    """Build ``(events, metadata)`` for the configured domain-shift story."""
+    config = config or StreamScheduleConfig()
+    specs = config.domain_specs()
+    names = [spec.name for spec in specs]
+    if config.drift_domain not in names:
+        raise ValueError(
+            f"drift domain '{config.drift_domain}' not in {names}")
+    if config.novel_domain in names:
+        raise ValueError(
+            f"novel domain '{config.novel_domain}' already exists in {names}")
+    generator = SyntheticNewsGenerator(SyntheticCorpusConfig(
+        name=f"stream-{config.dataset}", domain_specs=specs,
+        scale=config.scale, seed=config.seed + 7))
+    rng = np.random.default_rng(config.seed + 13)
+    weights = np.array([spec.total for spec in specs], dtype=np.float64)
+    weights /= weights.sum()
+    fake_ratios = {spec.name: spec.fake_ratio for spec in specs}
+    drift_prior_fake = fake_ratios[config.drift_domain] >= 0.5
+
+    events: list[StreamEvent] = []
+
+    def background_event(ordinal: int, phase: str,
+                         labeled_fraction: float) -> StreamEvent:
+        domain = names[int(rng.choice(len(names), p=weights))]
+        label = (FAKE_LABEL if rng.random() < fake_ratios[domain]
+                 else REAL_LABEL)
+        item = generator.sample_item(domain, label, item_id=ordinal)
+        labeled = rng.random() < labeled_fraction
+        return StreamEvent(ordinal=ordinal, text=item.text, domain=domain,
+                           label=label if labeled else None,
+                           metadata={"phase": phase})
+
+    # Phase A: steady-state seed traffic.
+    for ordinal in range(config.seed_events):
+        events.append(background_event(ordinal, "seed",
+                                       config.labeled_fraction))
+
+    # Phase B: ambiguous drift-domain traffic with labels against the prior.
+    for offset in range(config.drift_events):
+        ordinal = config.seed_events + offset
+        if rng.random() < config.drift_share:
+            against_prior = rng.random() < config.drift_label_flip
+            if against_prior:
+                label = REAL_LABEL if drift_prior_fake else FAKE_LABEL
+            else:
+                label = FAKE_LABEL if drift_prior_fake else REAL_LABEL
+            item = generator.sample_item(config.drift_domain, label,
+                                         item_id=ordinal,
+                                         force_ambiguous=True)
+            labeled = rng.random() < config.drift_labeled_fraction
+            events.append(StreamEvent(
+                ordinal=ordinal, text=item.text, domain=config.drift_domain,
+                label=label if labeled else None,
+                metadata={"phase": "drift", "ambiguous": True}))
+        else:
+            events.append(background_event(ordinal, "drift",
+                                           config.labeled_fraction))
+
+    # Phase C: the unseen domain arrives; first few events are labeled.
+    for offset in range(config.novel_events):
+        ordinal = config.seed_events + config.drift_events + offset
+        label = FAKE_LABEL if rng.random() < 0.5 else REAL_LABEL
+        item = generator.sample_novel_item(config.novel_domain, label,
+                                           item_id=ordinal)
+        labeled = offset < config.novel_labeled
+        events.append(StreamEvent(
+            ordinal=ordinal, text=item.text, domain=config.novel_domain,
+            label=label if labeled else None,
+            metadata={"phase": "novel"}))
+
+    metadata = {"generator": "repro.experiments.stream_schedule",
+                "config": asdict(config)}
+    return events, metadata
+
+
+__all__ = ["StreamScheduleConfig", "generate_stream_schedule"]

@@ -14,6 +14,7 @@ from repro.metrics.fairness import (
     false_positive_rate,
     fned,
     fped,
+    rolling_domain_bias,
     satisfies_disparate_mistreatment,
     total_equality_difference,
 )
@@ -22,7 +23,7 @@ from repro.metrics.report import EvaluationReport, evaluate_predictions
 __all__ = [
     "accuracy", "confusion_matrix", "f1_score", "macro_f1", "precision_recall_f1",
     "false_negative_rate", "false_positive_rate",
-    "DomainBiasReport", "domain_bias_report",
+    "DomainBiasReport", "domain_bias_report", "rolling_domain_bias",
     "fned", "fped", "total_equality_difference", "satisfies_disparate_mistreatment",
     "EvaluationReport", "evaluate_predictions",
 ]

@@ -68,6 +68,50 @@ class DomainBiasReport:
             "total": self.total,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DomainBiasReport":
+        """Rebuild a report serialised by :meth:`as_dict`.
+
+        The serialised form carries no explicit ``domain_names`` entry (the
+        schema predates this constructor and stays unchanged); the names are
+        recovered from the key order of ``fnr_per_domain``, which
+        :func:`domain_bias_report` populates in domain order for *every*
+        domain, including empty ones.
+        """
+        try:
+            fnr_per_domain = dict(payload["fnr_per_domain"])
+            fpr_per_domain = dict(payload["fpr_per_domain"])
+            report = cls(
+                domain_names=list(fnr_per_domain),
+                fnr_overall=float(payload["fnr_overall"]),
+                fpr_overall=float(payload["fpr_overall"]),
+                fnr_per_domain={k: float(v) for k, v in fnr_per_domain.items()},
+                fpr_per_domain={k: float(v) for k, v in fpr_per_domain.items()},
+                fned=float(payload["fned"]),
+                fped=float(payload["fped"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"not a serialised DomainBiasReport: {error}") from error
+        if set(report.fpr_per_domain) != set(report.fnr_per_domain):
+            raise ValueError(
+                "not a serialised DomainBiasReport: fnr_per_domain and "
+                "fpr_per_domain cover different domains")
+        return report
+
+    def deviation(self, domain: str) -> float:
+        """Per-domain bias deviation ``|FNR_d - FNR| + |FPR_d - FPR|``.
+
+        The per-domain contribution to ``total``; the streaming
+        :class:`repro.streaming.DriftMonitor` thresholds this to decide which
+        domain degraded.
+        """
+        if domain not in self.fnr_per_domain:
+            raise KeyError(f"unknown domain '{domain}'; report covers "
+                           f"{list(self.fnr_per_domain)}")
+        return (abs(self.fnr_per_domain[domain] - self.fnr_overall)
+                + abs(self.fpr_per_domain[domain] - self.fpr_overall))
+
 
 def domain_bias_report(y_true: np.ndarray, y_pred: np.ndarray, domains: np.ndarray,
                        domain_names: list[str]) -> DomainBiasReport:
@@ -129,6 +173,26 @@ def total_equality_difference(y_true: np.ndarray, y_pred: np.ndarray, domains: n
     return report.total
 
 
+def rolling_domain_bias(y_true: np.ndarray, y_pred: np.ndarray, domains: np.ndarray,
+                        domain_names: list[str], window: int) -> DomainBiasReport:
+    """Windowed :func:`domain_bias_report` over the trailing ``window`` rows.
+
+    The inputs are full event histories in arrival order; only the most recent
+    ``window`` events contribute, which is what an online monitor wants — old
+    traffic must stop influencing the bias signal once the stream moves on.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    domains = np.asarray(domains)
+    if not (y_true.shape == y_pred.shape == domains.shape):
+        raise ValueError("y_true, y_pred and domains must have identical shapes")
+    start = max(0, y_true.shape[0] - window)
+    return domain_bias_report(y_true[start:], y_pred[start:], domains[start:],
+                              domain_names)
+
+
 def satisfies_disparate_mistreatment(report: DomainBiasReport, tolerance: float = 0.05) -> bool:
     """Definition 3: every pair of domains has |FNR_i - FNR_j| and |FPR_i - FPR_j| <= tolerance."""
     fnr_values = list(report.fnr_per_domain.values())
@@ -140,7 +204,7 @@ def satisfies_disparate_mistreatment(report: DomainBiasReport, tolerance: float 
 
 __all__ = [
     "false_positive_rate", "false_negative_rate",
-    "DomainBiasReport", "domain_bias_report",
+    "DomainBiasReport", "domain_bias_report", "rolling_domain_bias",
     "fned", "fped", "total_equality_difference",
     "satisfies_disparate_mistreatment",
     "REAL_LABEL", "FAKE_LABEL",

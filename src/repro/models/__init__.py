@@ -6,6 +6,7 @@ from repro.models.bigru import BiGRU, BiGRUStudent
 from repro.models.dual_emotion import DualEmotion
 from repro.models.eann import EANN, EANNNoDAT
 from repro.models.eddfn import EDDFN, EDDFNNoDAT
+from repro.models.expand import expand_domains
 from repro.models.m3fend import M3FEND, DomainMemoryBank
 from repro.models.mdfend import MDFEND
 from repro.models.mmoe import MMoE, MoSE
@@ -25,6 +26,7 @@ __all__ = [
     "BiGRU", "BiGRUStudent", "TextCNN", "TextCNNStudent", "TextCNNWithEmbedding",
     "BertMLP", "RobertaMLP", "StyleLSTM", "DualEmotion", "MMoE", "MoSE",
     "EANN", "EANNNoDAT", "EDDFN", "EDDFNNoDAT", "MDFEND", "M3FEND", "DomainMemoryBank",
+    "expand_domains",
     "build_model", "available_models", "register_model", "registry_name",
     "display_name", "DISPLAY_NAMES",
 ]

@@ -83,6 +83,10 @@ class FakeNewsDetector(Module):
     name: str = "base"
     #: channels of the Batch this model reads (documentation + loader checks)
     required_features: tuple[str, ...] = ("plm",)
+    #: whether repro.models.expand.expand_domains can grow the domain axis
+    #: while keeping existing domains' outputs bit-identical (models whose
+    #: numerics renormalise across domains set this False)
+    domain_expandable: bool = True
 
     def __init__(self, config: ModelConfig):
         super().__init__()

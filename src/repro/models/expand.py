@@ -1,0 +1,131 @@
+"""Continual domain onboarding: grow a detector's domain axis in place.
+
+When a previously-unseen domain arrives on the stream, the student (and, in
+DTDBD mode, both frozen teachers) must accept the new domain id before any
+warm-up fine-tuning can happen.  :func:`expand_domains` grows every
+domain-indexed parameter axis with **copy-initialised** weights from a donor
+domain:
+
+* domain :class:`~repro.nn.layers.Embedding` tables gain rows that are exact
+  copies of the donor domain's row (MDFEND's ``domain_embedding``);
+* domain classifier / adversary heads — MLPs or bare Linears whose *output*
+  axis is ``num_domains`` — gain output columns copied from the donor's
+  column (EANN's ``domain_classifier``, EDDFN's ``specific_domain_head`` and
+  ``shared_domain_head``).
+
+Copy-initialisation is what makes onboarding safe to hot-deploy: existing
+rows/columns are never touched and the veracity forward never reads the new
+entries for old-domain inputs, so every pre-onboarding domain's predictions
+stay **bit-identical** to the pre-expansion model.  The new domain starts as
+a behavioural clone of the donor and then differentiates through warm-up
+fine-tuning.
+
+Domain-indexed parameters are discovered by the module-path convention the
+repo already follows: the submodule's registered name contains ``"domain"``.
+Models with no domain-indexed parameters at all (the TextCNN student, BiGRU,
+BERT-MLP, ...) expand config-only — equally valid, there is simply nothing
+to grow.
+
+Models whose numerics renormalise *across* domains cannot keep old outputs
+bit-identical when a domain is added — M3FEND's memory bank softmaxes
+similarities over all domains — and declare ``domain_expandable = False`` to
+refuse expansion with a readable error instead of silently shifting every
+prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import FakeNewsDetector
+from repro.nn.layers import MLP, Embedding, Linear
+
+
+def _grow_embedding_rows(embedding: Embedding, extra: int, donor: int) -> None:
+    weight = embedding.weight
+    donor_rows = np.repeat(weight.data[donor:donor + 1], extra, axis=0)
+    weight.data = np.concatenate([weight.data, donor_rows], axis=0)
+    weight.grad = None
+    embedding.num_embeddings += extra
+
+
+def _grow_linear_out(linear: Linear, extra: int, donor: int) -> None:
+    weight = linear.weight  # (in_features, out_features)
+    donor_cols = np.repeat(weight.data[:, donor:donor + 1], extra, axis=1)
+    weight.data = np.concatenate([weight.data, donor_cols], axis=1)
+    weight.grad = None
+    if getattr(linear, "bias", None) is not None:
+        bias = linear.bias
+        donor_bias = np.repeat(bias.data[donor:donor + 1], extra, axis=0)
+        bias.data = np.concatenate([bias.data, donor_bias], axis=0)
+        bias.grad = None
+    linear.out_features += extra
+
+
+def expand_domains(model: FakeNewsDetector, num_domains: int,
+                   donor: int = 0) -> list[str]:
+    """Grow ``model`` in place to ``num_domains`` domains; return grown params.
+
+    New domain slots are copy-initialised from domain ``donor``.  Works on
+    frozen models too (teachers): only parameter ``.data`` is rewritten, the
+    ``requires_grad`` flags are untouched.  ``model.config`` is replaced with
+    a ``num_domains``-updated copy so re-exported artifacts carry the grown
+    shape.  Returns the qualified names of the parameters that gained new
+    rows/columns (empty for models with no domain-indexed parameters).
+    """
+    old = model.config.num_domains
+    if num_domains <= old:
+        raise ValueError(
+            f"cannot expand {model.name} from {old} to {num_domains} domains; "
+            "the new count must be strictly larger")
+    if not 0 <= donor < old:
+        raise ValueError(
+            f"donor domain {donor} outside the existing range [0, {old})")
+    if not getattr(model, "domain_expandable", True):
+        raise ValueError(
+            f"{model.name} does not support bit-identical domain expansion: "
+            "its per-domain state renormalises across all domains (e.g. the "
+            "M3FEND memory bank's soft-domain softmax), so adding a domain "
+            "would shift existing domains' outputs. Onboard new domains with "
+            "an expandable model (mdfend, eann, eddfn, or any domain-free "
+            "student) or retrain from scratch.")
+    extra = num_domains - old
+
+    grown: list[str] = []
+    handled: set[int] = set()
+    # First pass: MLP heads — grow only the final (output) Linear and mark
+    # every Linear inside the head as handled, so hidden layers whose widths
+    # coincide with the old domain count are never mistaken for domain axes.
+    for name, module in model.named_modules():
+        if "domain" not in name or not isinstance(module, MLP):
+            continue
+        layers = list(module.network._modules.values())
+        for layer in layers:
+            if isinstance(layer, Linear):
+                handled.add(id(layer))
+        final = layers[-1]
+        if isinstance(final, Linear) and final.out_features == old:
+            _grow_linear_out(final, extra, donor)
+            grown.append(f"{name}.network (output axis {old} -> {num_domains})")
+    # Second pass: bare domain-indexed tables and heads.
+    for name, module in model.named_modules():
+        if "domain" not in name:
+            continue
+        if isinstance(module, Embedding) and module.num_embeddings == old:
+            _grow_embedding_rows(module, extra, donor)
+            grown.append(f"{name}.weight (rows {old} -> {num_domains})")
+        elif isinstance(module, Linear) and id(module) not in handled:
+            if module.out_features == old:
+                _grow_linear_out(module, extra, donor)
+                grown.append(f"{name}.weight (output axis {old} -> {num_domains})")
+            elif module.in_features == old:
+                raise ValueError(
+                    f"{model.name}.{name} consumes a {old}-wide domain input "
+                    "axis; growing an input axis cannot keep old-domain "
+                    "outputs bit-identical, so this model cannot be expanded")
+
+    model.config = model.config.with_overrides(num_domains=num_domains)
+    return grown
+
+
+__all__ = ["expand_domains"]

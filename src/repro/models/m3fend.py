@@ -57,6 +57,10 @@ class M3FEND(FakeNewsDetector):
 
     name = "m3fend"
     required_features = ("plm", "style", "emotion")
+    # The memory bank's soft-domain softmax renormalises over *all* domains,
+    # so adding one would shift every existing domain's gate weights —
+    # bit-identical continual onboarding (repro.models.expand) is impossible.
+    domain_expandable = False
 
     def __init__(self, config: ModelConfig, memory_momentum: float = 0.9,
                  memory_temperature: float = 4.0):

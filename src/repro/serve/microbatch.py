@@ -93,6 +93,7 @@ class MicroBatcher:
         """The queue's ledger plus the predictor's own liveness report."""
         self.stats.set_encoder_backend(self.predictor.backend_state())
         report = self.predictor.health()
+        self.stats.set_artifact_fingerprint(report.get("artifact_fingerprint"))
         report["queue"] = self.stats.snapshot()
         return report
 
@@ -180,4 +181,6 @@ class MicroBatcher:
             prediction.latency_ms = (finished - ticket.submitted_at) * 1e3
             ticket._result = prediction
             self.stats.record_outcome(prediction.error is None)
+            if prediction.error is None:
+                self.stats.record_domain(prediction.domain)
         self.stats.record_flush(reason, len(batch))

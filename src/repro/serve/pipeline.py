@@ -24,9 +24,12 @@ both ``REPRO_DTYPE``\\ s).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro._version import __version__
 from repro.data.dataset import LABEL_NAMES
@@ -261,6 +264,25 @@ class Pipeline:
             document["feature_channel_specs"] = [
                 channel.to_spec() for channel in self.channels]
         return document
+
+    def fingerprint(self) -> str:
+        """16-hex content digest of this pipeline (manifest + weight bytes).
+
+        Purely content-based — the manifest document plus every state-dict
+        array's name and raw bytes — so it is stable across replays of the
+        same deterministic run (unlike hashing the artifact files, whose npz
+        container embeds timestamps) and survives a save/load round-trip
+        unchanged.  Serving exposes it so operators can see *which* weights a
+        predictor is holding after a hot reload.
+        """
+        digest = hashlib.sha256()
+        digest.update(json.dumps(self.manifest(), sort_keys=True).encode("utf-8"))
+        for name, value in sorted(self.model.state_dict().items()):
+            digest.update(name.encode("utf-8"))
+            array = np.ascontiguousarray(value)
+            digest.update(str(array.dtype).encode("utf-8"))
+            digest.update(array.tobytes())
+        return digest.hexdigest()[:16]
 
     def save(self, path: str | os.PathLike) -> str:
         return save_pipeline(self, path)

@@ -119,14 +119,23 @@ class Predictor:
         # wraps the *retried* call, so a persistently failing backend trips
         # after `failure_threshold` exhausted retry rounds and degrades to
         # fast CircuitOpen rejections instead of deadline-burning retries
-        # (the serving worker pool installs one per worker).
-        encode = (encoder_retry
-                  or RetryPolicy(attempts=2, base_delay_s=0.01,
-                                 max_delay_s=0.05)).wrap(
-            pipeline.encoder.encode)
+        # (the serving worker pool installs one per worker).  Both policies
+        # are kept so a hot :meth:`reload` can re-wrap the new backend.
+        self._encoder_retry = (encoder_retry
+                               or RetryPolicy(attempts=2, base_delay_s=0.01,
+                                              max_delay_s=0.05))
         self.encoder_breaker = encoder_breaker
-        if encoder_breaker is not None:
-            encode = encoder_breaker.wrap(encode)
+        self.served_by_domain: dict[str, int] = {}
+        self.reloads = 0
+        self.last_reload_fingerprint: str | None = None
+        self._bind_pipeline(pipeline)
+
+    def _bind_pipeline(self, pipeline: Pipeline) -> None:
+        """Point this predictor at ``pipeline`` (construction and hot reload)."""
+        self.pipeline = pipeline
+        encode = self._encoder_retry.wrap(pipeline.encoder.encode)
+        if self.encoder_breaker is not None:
+            encode = self.encoder_breaker.wrap(encode)
         self._encode_plm = encode
         # Resolve the channel objects once: pipelines carrying explicit
         # channels (custom or rebuilt from manifest specs) serve those;
@@ -134,6 +143,34 @@ class Predictor:
         # unservable name raises PipelineError here, at construction.
         self._channels = pipeline.resolve_channels()
         pipeline.model.eval()
+
+    def reload(self, source: "Pipeline | str") -> str:
+        """Hot-swap the served pipeline; returns the new artifact fingerprint.
+
+        ``source`` is either a directory written by
+        :func:`repro.serve.save_pipeline` (loaded with full checksum
+        verification — a corrupt artifact raises and the predictor keeps
+        serving the old weights) or an in-memory :class:`Pipeline`.  The swap
+        re-wraps the encoder retry/breaker policies around the new backend
+        and re-resolves the feature channels; the default domain must still
+        exist in the new pipeline.  Domain growth is allowed (continual
+        onboarding re-exports with more domains); the per-domain served
+        counters carry across reloads.
+        """
+        if isinstance(source, Pipeline):
+            pipeline = source
+        else:
+            from repro.serve.pipeline import load_pipeline
+
+            pipeline = load_pipeline(source)
+        if self.default_domain >= pipeline.model_config.num_domains:
+            raise KeyError(
+                f"default domain {self.default_domain} does not exist in the "
+                f"new pipeline ({pipeline.model_config.num_domains} domains)")
+        self._bind_pipeline(pipeline)
+        self.reloads += 1
+        self.last_reload_fingerprint = pipeline.fingerprint()
+        return self.last_reload_fingerprint
 
     # ------------------------------------------------------------------ #
     # Encoding (training-parity path)                                      #
@@ -411,6 +448,10 @@ class Predictor:
             "domains": list(self.pipeline.domain_names),
             "source_path": self.pipeline.source_path,
             "encoder_backend": self.backend_state(),
+            "artifact_fingerprint": self.pipeline.fingerprint(),
+            "reloads": self.reloads,
+            "last_reload_fingerprint": self.last_reload_fingerprint,
+            "served_by_domain": dict(self.served_by_domain),
             "checks": checks,
         }
 
@@ -470,7 +511,7 @@ class Predictor:
     def _package(self, batch: Batch, probabilities: np.ndarray,
                  latencies_ms: Sequence[float]) -> list[Prediction]:
         labels = probabilities.argmax(axis=1)
-        return [
+        predictions = [
             Prediction(
                 label=int(labels[row]),
                 label_name=LABEL_NAMES[int(labels[row])],
@@ -481,3 +522,7 @@ class Predictor:
             )
             for row in range(probabilities.shape[0])
         ]
+        for prediction in predictions:
+            self.served_by_domain[prediction.domain] = \
+                self.served_by_domain.get(prediction.domain, 0) + 1
+        return predictions

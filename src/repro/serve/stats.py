@@ -55,6 +55,12 @@ class ServeStats:
     #: live counters like cache hit rate / circuit state); ``None`` until the
     #: owning queue first publishes it via :meth:`set_encoder_backend`
     encoder_backend: dict | None = None
+    #: ok predictions per served domain name (streaming / onboarding views)
+    served_by_domain: dict[str, int] = field(default_factory=dict)
+    #: fingerprint of the pipeline artifact currently behind the queue;
+    #: ``None`` until first published — changes after a hot reload, which is
+    #: how operators confirm a swap actually happened
+    artifact_fingerprint: str | None = None
 
     def __post_init__(self):
         # One queue is driven from several threads (submitters, dispatcher,
@@ -93,6 +99,17 @@ class ServeStats:
         with self._lock:
             self.encoder_backend = dict(state) if state is not None else None
 
+    def record_domain(self, domain: str, count: int = 1) -> None:
+        """Count ``count`` ok predictions served for ``domain``."""
+        with self._lock:
+            self.served_by_domain[domain] = \
+                self.served_by_domain.get(domain, 0) + count
+
+    def set_artifact_fingerprint(self, fingerprint: str | None) -> None:
+        """Publish the fingerprint of the artifact currently being served."""
+        with self._lock:
+            self.artifact_fingerprint = fingerprint
+
     def count(self, field_name: str, amount: int = 1) -> None:
         """Atomically add ``amount`` to one of the integer counters."""
         with self._lock:
@@ -116,4 +133,6 @@ class ServeStats:
                 "redispatched": self.redispatched,
                 "encoder_backend": (dict(self.encoder_backend)
                                     if self.encoder_backend is not None else None),
+                "served_by_domain": dict(self.served_by_domain),
+                "artifact_fingerprint": self.artifact_fingerprint,
             }

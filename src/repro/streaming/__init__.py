@@ -1,0 +1,40 @@
+"""Streaming detection: online drift monitoring, incremental adaptation and
+continual domain onboarding over the serving tier.
+
+See ``README.md`` ("Streaming & continual domains") for the end-to-end
+story; the pieces are:
+
+* :class:`StreamEvent` / :class:`DriftEvent` + schedule persistence
+  (:mod:`repro.streaming.events`),
+* :class:`DriftMonitor` — windowed per-domain PSI + fairness-deviation
+  signals (:mod:`repro.streaming.monitor`),
+* :class:`OnlineAdapter` — incremental fine-tuning, teacher-cache window
+  invalidation, atomic artifact re-export, domain onboarding
+  (:mod:`repro.streaming.adapter`),
+* :class:`StreamRunner` — the deterministic online loop tying them to the
+  micro-batched predictor (:mod:`repro.streaming.runner`).
+"""
+
+from repro.streaming.adapter import AdaptationRecord, AdapterConfig, OnlineAdapter
+from repro.streaming.events import (
+    SCHEDULE_FORMAT_VERSION,
+    DriftEvent,
+    StreamEvent,
+    drift_log_text,
+    load_schedule,
+    save_schedule,
+)
+from repro.streaming.monitor import (
+    DriftConfig,
+    DriftMonitor,
+    population_stability_index,
+)
+from repro.streaming.runner import StreamConfig, StreamReport, StreamRunner
+
+__all__ = [
+    "StreamEvent", "DriftEvent", "drift_log_text",
+    "save_schedule", "load_schedule", "SCHEDULE_FORMAT_VERSION",
+    "DriftConfig", "DriftMonitor", "population_stability_index",
+    "AdapterConfig", "AdaptationRecord", "OnlineAdapter",
+    "StreamConfig", "StreamReport", "StreamRunner",
+]

@@ -1,0 +1,168 @@
+"""Typed events of the streaming tier, with byte-stable serialisation.
+
+Two event kinds flow through the subsystem:
+
+* :class:`StreamEvent` — one inbound ``(text, domain, optional label)`` news
+  item, ordered by ``ordinal``.  Schedules (ordered lists of stream events)
+  persist as checksummed JSON documents via :func:`save_schedule` /
+  :func:`load_schedule`.
+* :class:`DriftEvent` — one monitor verdict: a domain's score distribution
+  or fairness signal moved past its threshold at a given ordinal.
+
+Determinism contract: :func:`drift_log_text` renders a drift-event list as
+canonical JSON lines (sorted keys, fixed separators, ``repr``-stable floats)
+so two replays of the same seeded schedule can be compared **byte for
+byte** — the pinning artifact of the whole subsystem's determinism tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.reliability.durable import atomic_write_text
+
+#: Bump when the schedule document layout changes incompatibly.
+SCHEDULE_FORMAT_VERSION = 1
+
+
+@dataclass
+class StreamEvent:
+    """One inbound news item; ``label`` is ``None`` for unlabeled traffic."""
+
+    ordinal: int
+    text: str
+    domain: str
+    label: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "ordinal": self.ordinal,
+            "text": self.text,
+            "domain": self.domain,
+            "label": self.label,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamEvent":
+        try:
+            return cls(
+                ordinal=int(payload["ordinal"]),
+                text=str(payload["text"]),
+                domain=str(payload["domain"]),
+                label=(None if payload.get("label") is None
+                       else int(payload["label"])),
+                metadata=dict(payload.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"not a serialised StreamEvent: {error}") from error
+
+
+@dataclass
+class DriftEvent:
+    """One monitor verdict: ``domain`` drifted past ``threshold`` on ``kind``.
+
+    ``kind`` is ``"score_drift"`` (windowed PSI of predicted fake
+    probabilities against the domain's frozen reference window) or
+    ``"bias_drift"`` (the domain's ``|FNR_d - FNR| + |FPR_d - FPR|``
+    deviation over the pooled labeled window).  ``value`` is the measured
+    signal, ``window`` how many observations backed it.
+    """
+
+    ordinal: int
+    domain: str
+    kind: str
+    value: float
+    threshold: float
+    window: int
+    details: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "ordinal": self.ordinal,
+            "domain": self.domain,
+            "kind": self.kind,
+            "value": self.value,
+            "threshold": self.threshold,
+            "window": self.window,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DriftEvent":
+        try:
+            return cls(
+                ordinal=int(payload["ordinal"]),
+                domain=str(payload["domain"]),
+                kind=str(payload["kind"]),
+                value=float(payload["value"]),
+                threshold=float(payload["threshold"]),
+                window=int(payload["window"]),
+                details=dict(payload.get("details", {})),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"not a serialised DriftEvent: {error}") from error
+
+
+def drift_log_text(events: "list[DriftEvent]") -> str:
+    """Canonical JSON-lines rendering of a drift-event list.
+
+    Sorted keys and fixed separators make the rendering a function of the
+    event *values* only, so identical replays produce identical bytes.
+    """
+    return "".join(
+        json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
+        + "\n"
+        for event in events)
+
+
+# --------------------------------------------------------------------------- #
+# Schedule persistence                                                         #
+# --------------------------------------------------------------------------- #
+def save_schedule(events: "list[StreamEvent]", path: str | os.PathLike,
+                  metadata: dict | None = None) -> str:
+    """Atomically write a stream schedule as one JSON document; returns path."""
+    document = {
+        "format_version": SCHEDULE_FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "events": [event.as_dict() for event in events],
+    }
+    path = os.fspath(path)
+    atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_schedule(path: str | os.PathLike) -> "tuple[list[StreamEvent], dict]":
+    """Load ``(events, metadata)`` written by :func:`save_schedule`."""
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise ValueError(f"cannot read stream schedule '{path}': {error}") from error
+    except ValueError as error:
+        raise ValueError(
+            f"stream schedule '{path}' is not valid JSON ({error}); expected "
+            "a document written by repro.streaming.save_schedule") from error
+    version = document.get("format_version") if isinstance(document, dict) else None
+    if not isinstance(version, int) or version > SCHEDULE_FORMAT_VERSION:
+        raise ValueError(
+            f"stream schedule '{path}' has format version {version!r}, but "
+            f"this build only understands versions <= {SCHEDULE_FORMAT_VERSION}")
+    events = [StreamEvent.from_dict(entry) for entry in document.get("events", [])]
+    ordinals = [event.ordinal for event in events]
+    if ordinals != sorted(ordinals):
+        raise ValueError(
+            f"stream schedule '{path}' has out-of-order ordinals; a schedule "
+            "must replay in arrival order")
+    return events, dict(document.get("metadata", {}))
+
+
+__all__ = [
+    "SCHEDULE_FORMAT_VERSION",
+    "StreamEvent", "DriftEvent", "drift_log_text",
+    "save_schedule", "load_schedule",
+]

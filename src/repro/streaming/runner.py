@@ -1,0 +1,224 @@
+"""The online loop: score a stream, watch for drift, adapt, onboard.
+
+:class:`StreamRunner` consumes an ordered list of
+:class:`~repro.streaming.events.StreamEvent`\\ s and drives the whole
+subsystem:
+
+1. every event is scored through the existing
+   :class:`~repro.serve.Predictor` / :class:`~repro.serve.MicroBatcher`
+   path (micro-batching amortises per-event overhead exactly as in serving);
+2. scored events feed the :class:`~repro.streaming.DriftMonitor`'s rolling
+   windows, labeled events additionally become adapter feedback;
+3. a fired :class:`~repro.streaming.events.DriftEvent` drains the batcher
+   (in-flight traffic is scored by the *old* model — serving semantics),
+   triggers :meth:`OnlineAdapter.adapt`, hot-reloads the predictor from the
+   re-exported artifact, and resets the monitor's references (the model
+   changed, so old score distributions are no baseline);
+4. an event from an unknown domain triggers continual onboarding: drain,
+   :meth:`OnlineAdapter.onboard_domain`, hot reload, register with the
+   monitor — then the event is scored like any other, and once enough
+   labeled samples of the new domain arrive it is warmed up with a regular
+   adaptation.
+
+Determinism: the micro-batcher runs with an infinite latency budget, so
+flushes happen only on "full" and "drain" — batch composition is a pure
+function of the event order, never of wall-clock.  Everything downstream
+(windows, thresholds, training) is seeded, so one schedule replays to
+byte-identical drift logs and bit-identical final weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.data.dataset import NewsItem
+from repro.serve.microbatch import MicroBatcher, Ticket
+from repro.serve.predictor import Predictor
+from repro.streaming.adapter import OnlineAdapter
+from repro.streaming.events import DriftEvent, StreamEvent, drift_log_text
+from repro.streaming.monitor import DriftMonitor
+
+
+@dataclass
+class StreamConfig:
+    """Knobs of the :class:`StreamRunner`."""
+
+    #: micro-batch width (flushes are "full"/"drain" only — deterministic)
+    max_batch: int = 16
+    #: react to fired drift events with an adaptation (needs an adapter)
+    adapt_on_drift: bool = True
+    #: also adapt whenever buffered feedback alone reaches the adapter's
+    #: ``min_feedback`` (label-driven adaptation without a drift signal)
+    adapt_on_feedback: bool = False
+    #: labeled events an onboarded domain needs before its warm-up adaptation
+    warmup_min_labeled: int = 4
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.warmup_min_labeled < 1:
+            raise ValueError("warmup_min_labeled must be >= 1")
+
+
+@dataclass
+class StreamReport:
+    """What one :meth:`StreamRunner.run` did, in JSON-able deterministic form."""
+
+    events: int = 0
+    served: int = 0
+    failed: int = 0
+    skipped_unknown_domain: int = 0
+    served_by_domain: dict = field(default_factory=dict)
+    drift_events: list = field(default_factory=list)
+    adaptations: list = field(default_factory=list)
+    onboardings: list = field(default_factory=list)
+    final_fingerprint: str = ""
+
+    @property
+    def drift_log(self) -> str:
+        """Byte-stable JSON-lines rendering of the drift events."""
+        return drift_log_text([DriftEvent.from_dict(entry)
+                               for entry in self.drift_events])
+
+    def as_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "served": self.served,
+            "failed": self.failed,
+            "skipped_unknown_domain": self.skipped_unknown_domain,
+            "served_by_domain": dict(self.served_by_domain),
+            "drift_events": list(self.drift_events),
+            "adaptations": list(self.adaptations),
+            "onboardings": list(self.onboardings),
+            "final_fingerprint": self.final_fingerprint,
+        }
+
+
+class StreamRunner:
+    """Drive predictor + monitor (+ optional adapter) over an event stream."""
+
+    def __init__(self, predictor: Predictor, monitor: DriftMonitor,
+                 adapter: OnlineAdapter | None = None,
+                 config: StreamConfig | None = None):
+        self.predictor = predictor
+        self.monitor = monitor
+        self.adapter = adapter
+        self.config = config or StreamConfig()
+        # Infinite latency budget: flush on "full"/"drain" only, so batch
+        # composition never depends on wall-clock.
+        self.batcher = MicroBatcher(predictor, max_batch=self.config.max_batch,
+                                    max_latency_ms=math.inf)
+        self._inflight: "list[tuple[StreamEvent, Ticket]]" = []
+        self._pending_reasons: list[str] = []
+        self._warmup_pending: set[str] = set()
+        self._last_ordinal = -1
+        self.report = StreamReport()
+
+    # ------------------------------------------------------------------ #
+    def run(self, events: "list[StreamEvent]") -> StreamReport:
+        """Process ``events`` in order; returns the final report."""
+        previous = None
+        for event in events:
+            if previous is not None and event.ordinal <= previous:
+                raise ValueError(
+                    f"event ordinals must be strictly increasing; got "
+                    f"{event.ordinal} after {previous}")
+            previous = event.ordinal
+            if not self._ensure_domain(event):
+                self.report.skipped_unknown_domain += 1
+                continue
+            ticket = self.batcher.submit(event.text, domain=event.domain)
+            self._inflight.append((event, ticket))
+            self._process_resolved()
+            self._maybe_adapt()
+        self._drain()
+        self._maybe_adapt(final=True)
+        self._finish_report()
+        return self.report
+
+    # ------------------------------------------------------------------ #
+    def _ensure_domain(self, event: StreamEvent) -> bool:
+        """Make ``event.domain`` servable; returns False to skip the event."""
+        if event.domain in self.predictor.pipeline.domain_names:
+            return True
+        if self.adapter is None:
+            return False
+        # Onboard: finish in-flight traffic on the old model first, then
+        # expand, re-export, hot-reload and start tracking.
+        self._drain()
+        record = self.adapter.onboard_domain(event.domain, event.ordinal)
+        self.predictor.reload(self.adapter.config.export_path)
+        self.monitor.register_domain(event.domain)
+        self._warmup_pending.add(event.domain)
+        self.report.onboardings.append(record)
+        return True
+
+    def _process_resolved(self) -> None:
+        """Consume the resolved prefix of in-flight tickets, in event order."""
+        while self._inflight and self._inflight[0][1].done:
+            event, ticket = self._inflight.pop(0)
+            self._last_ordinal = event.ordinal
+            prediction = ticket.result
+            self.report.events += 1
+            if not prediction.ok:
+                self.report.failed += 1
+                continue
+            self.report.served += 1
+            fired = self.monitor.observe(
+                event.ordinal, event.domain, prediction.probability_fake,
+                prediction.label, event.label)
+            if self.adapter is not None and event.label is not None:
+                domain_index = self.adapter.loader.dataset.domain_names.index(
+                    event.domain)
+                self.adapter.ingest(NewsItem(
+                    text=event.text, label=int(event.label),
+                    domain=domain_index, domain_name=event.domain,
+                    item_id=event.ordinal, metadata=dict(event.metadata)))
+            if fired and self.adapter is not None and self.config.adapt_on_drift:
+                self._pending_reasons.extend(
+                    f"{item.kind}:{item.domain}" for item in fired)
+            self._check_warmup(event)
+            if (self.adapter is not None and self.config.adapt_on_feedback
+                    and not self._pending_reasons and self.adapter.ready()):
+                self._pending_reasons.append("feedback")
+
+    def _check_warmup(self, event: StreamEvent) -> None:
+        if (self.adapter is None
+                or event.domain not in self._warmup_pending):
+            return
+        if (self.adapter.feedback_for_domain(event.domain)
+                >= self.config.warmup_min_labeled):
+            self._warmup_pending.discard(event.domain)
+            self._pending_reasons.append(f"onboard_warmup:{event.domain}")
+
+    def _drain(self) -> None:
+        self.batcher.drain()
+        self._process_resolved()
+
+    def _maybe_adapt(self, final: bool = False) -> None:
+        if not self._pending_reasons or self.adapter is None:
+            return
+        if not final:
+            # Score in-flight traffic with the *current* model before the
+            # weights change (this can fire more drift; reasons accumulate).
+            self._drain()
+        reasons, self._pending_reasons = self._pending_reasons, []
+        record = self.adapter.adapt(";".join(reasons),
+                                    ordinal=self._last_ordinal)
+        if record is None:
+            return  # drift without any labeled feedback: nothing to learn from
+        self.report.adaptations.append(record.as_dict())
+        self.predictor.reload(self.adapter.config.export_path)
+        # The model changed: every domain's frozen score reference is stale.
+        for name in list(self.monitor.domain_names):
+            self.monitor.reset_domain(name)
+
+    def _finish_report(self) -> None:
+        self.report.drift_events = [event.as_dict()
+                                    for event in self.monitor.drift_events]
+        self.report.served_by_domain = dict(self.predictor.served_by_domain)
+        self.report.final_fingerprint = self.predictor.pipeline.fingerprint()
+
+
+__all__ = ["StreamConfig", "StreamReport", "StreamRunner"]

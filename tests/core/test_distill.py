@@ -247,3 +247,87 @@ class TestTeacherCache:
         batch.indices = np.array([0, -3])
         with pytest.raises(IndexError, match="different loader"):
             cache.lookup(batch)
+
+    def _private_loader(self, tiny_splits, tiny_vocab, feature_extractors):
+        """A loader this test may mutate without corrupting shared fixtures."""
+        from repro.data import DataLoader
+
+        return DataLoader(tiny_splits.train, tiny_vocab, max_length=16,
+                          batch_size=16, shuffle=False, seed=0,
+                          feature_extractors=feature_extractors)
+
+    def test_partial_invalidate_recomputes_only_touched_windows(
+            self, frozen_teacher, tiny_splits, tiny_vocab, feature_extractors):
+        """Window-level invalidation: touched windows re-forward against the
+        mutated rows, untouched windows keep serving their original arrays
+        bit-identically (they are never rewritten)."""
+        loader = self._private_loader(tiny_splits, tiny_vocab, feature_extractors)
+        cache = TeacherCache(frozen_teacher, loader)
+        window = cache.window_size
+        first = loader.window(0, window)
+        second = loader.window(window, 2 * window)
+        cache.lookup(first)
+        before_logits, before_features = cache.lookup(second)
+        before_logits = before_logits.numpy().copy()
+        before_features = before_features.numpy().copy()
+
+        # Overwrite three rows of window 0 in place with another row's
+        # encoding — the cached outputs for them are now stale.
+        donor = window + 1
+        for row in (0, 1, 2):
+            loader.token_ids[row] = loader.token_ids[donor]
+            loader.mask[row] = loader.mask[donor]
+            for name in loader.features:
+                loader.features[name][row] = loader.features[name][donor]
+        cache.invalidate(np.array([0, 1, 2]))
+        assert cache.materialised  # arrays kept, only windows marked stale
+
+        fresh_logits, _ = cache.lookup(loader.window(0, window))
+        assert cache.recomputed_windows == 1
+        live_logits, _ = teacher_forward(frozen_teacher, loader.window(0, window))
+        np.testing.assert_array_equal(fresh_logits.numpy(), live_logits.numpy())
+
+        after_logits, after_features = cache.lookup(second)
+        np.testing.assert_array_equal(after_logits.numpy(), before_logits)
+        np.testing.assert_array_equal(after_features.numpy(), before_features)
+        assert cache.recomputed_windows == 1  # window 1 was never re-forwarded
+
+    def test_partial_invalidate_tail_rows_use_overlapping_window(
+            self, frozen_teacher, tiny_splits, tiny_vocab, feature_extractors):
+        loader = self._private_loader(tiny_splits, tiny_vocab, feature_extractors)
+        cache = TeacherCache(frozen_teacher, loader)
+        total = loader.num_samples
+        window = cache.window_size
+        assert total % window, "fixture corpus should have a ragged tail"
+        cache.lookup(loader.window(0, window))
+        # Without any data mutation the recompute must reproduce the same
+        # outputs — the tail re-forward uses the same overlapping pass as
+        # materialisation did.
+        tail_batch = loader.window(total - window, total)
+        before, _ = cache.lookup(tail_batch)
+        before = before.numpy().copy()
+        cache.invalidate([total - 1])
+        after, _ = cache.lookup(tail_batch)
+        assert cache.recomputed_windows == 1
+        np.testing.assert_array_equal(after.numpy(), before)
+
+    def test_partial_invalidate_edge_cases(self, frozen_teacher, tiny_splits,
+                                           tiny_vocab, feature_extractors):
+        loader = self._private_loader(tiny_splits, tiny_vocab, feature_extractors)
+        cache = TeacherCache(frozen_teacher, loader)
+        # Before materialisation a row-level invalidate is a no-op: the first
+        # lookup computes everything fresh anyway.
+        cache.invalidate([0, 1])
+        assert not cache.materialised
+        cache.lookup(loader.window(0, cache.window_size))
+        assert cache.recomputed_windows == 0
+        # Empty index sets are a no-op; out-of-range rows are rejected.
+        cache.invalidate([])
+        cache.invalidate(np.empty(0, dtype=np.int64))
+        with pytest.raises(IndexError, match="outside the dataset"):
+            cache.invalidate([loader.num_samples])
+        with pytest.raises(IndexError, match="outside the dataset"):
+            cache.invalidate([-1])
+        # invalidate(None) keeps the legacy drop-everything contract.
+        cache.invalidate(None)
+        assert not cache.materialised

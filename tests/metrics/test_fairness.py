@@ -9,9 +9,11 @@ from repro.metrics import (
     false_positive_rate,
     fned,
     fped,
+    rolling_domain_bias,
     satisfies_disparate_mistreatment,
     total_equality_difference,
 )
+from repro.metrics.fairness import DomainBiasReport
 
 
 class TestErrorRates:
@@ -104,3 +106,94 @@ class TestDomainBiasReport:
         fair_total = total_equality_difference(y_true, fair_pred, domains, 4)
         biased_total = total_equality_difference(y_true, biased_pred, domains, 4)
         assert biased_total > fair_total
+
+
+class TestFromDict:
+    def _report(self):
+        y_true = np.array([1, 1, 0, 0, 1, 1, 0, 0])
+        y_pred = np.array([1, 0, 1, 0, 1, 1, 0, 0])
+        domains = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        return domain_bias_report(y_true, y_pred, domains, ["a", "b"])
+
+    def test_round_trip_preserves_every_field(self):
+        report = self._report()
+        restored = DomainBiasReport.from_dict(report.as_dict())
+        assert restored == report
+        assert restored.total == pytest.approx(report.total)
+
+    def test_json_round_trip(self):
+        import json
+
+        report = self._report()
+        restored = DomainBiasReport.from_dict(
+            json.loads(json.dumps(report.as_dict())))
+        assert restored == report
+
+    def test_recovers_domain_order(self):
+        restored = DomainBiasReport.from_dict(self._report().as_dict())
+        assert restored.domain_names == ["a", "b"]
+
+    def test_rejects_non_report_payloads(self):
+        with pytest.raises(ValueError, match="not a serialised"):
+            DomainBiasReport.from_dict({"fnr_overall": 0.1})
+        with pytest.raises(ValueError, match="not a serialised"):
+            DomainBiasReport.from_dict({})
+
+    def test_rejects_mismatched_domain_sets(self):
+        payload = self._report().as_dict()
+        payload["fpr_per_domain"] = {"a": 0.0, "c": 0.0}
+        with pytest.raises(ValueError, match="different domains"):
+            DomainBiasReport.from_dict(payload)
+
+    def test_deviation_is_per_domain_total_contribution(self):
+        report = self._report()
+        assert sum(report.deviation(name) for name in report.domain_names) \
+            == pytest.approx(report.total)
+        expected = (abs(report.fnr_per_domain["a"] - report.fnr_overall)
+                    + abs(report.fpr_per_domain["a"] - report.fpr_overall))
+        assert report.deviation("a") == pytest.approx(expected)
+
+    def test_deviation_unknown_domain(self):
+        with pytest.raises(KeyError, match="unknown domain"):
+            self._report().deviation("nope")
+
+
+class TestRollingDomainBias:
+    def test_matches_full_report_when_window_covers_history(self):
+        y_true = np.array([1, 0, 1, 0, 1, 0])
+        y_pred = np.array([1, 1, 0, 0, 1, 0])
+        domains = np.array([0, 0, 0, 1, 1, 1])
+        full = domain_bias_report(y_true, y_pred, domains, ["a", "b"])
+        rolled = rolling_domain_bias(y_true, y_pred, domains, ["a", "b"],
+                                     window=100)
+        assert rolled == full
+
+    def test_only_trailing_window_contributes(self):
+        # Old traffic: domain 0 always wrong.  Recent traffic: perfect.
+        y_true = np.array([1, 1, 1, 1, 1, 0, 1, 0])
+        y_pred = np.array([0, 0, 0, 0, 1, 0, 1, 0])
+        domains = np.array([0, 0, 0, 0, 0, 0, 1, 1])
+        rolled = rolling_domain_bias(y_true, y_pred, domains, ["a", "b"],
+                                     window=4)
+        assert rolled.total == pytest.approx(0.0)
+        full = rolling_domain_bias(y_true, y_pred, domains, ["a", "b"],
+                                   window=8)
+        assert full.total > 0.0
+
+    def test_window_slides_with_arrival_order(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.array([0, 0, 0, 0])
+        domains = np.array([0, 0, 1, 1])
+        rolled = rolling_domain_bias(y_true, y_pred, domains, ["a", "b"],
+                                     window=2)
+        # Only the two domain-1 negatives remain: no errors at all.
+        assert rolled.fnr_per_domain == {"a": 0.0, "b": 0.0}
+        assert rolled.fnr_overall == 0.0
+
+    def test_rejects_bad_window_and_shapes(self):
+        with pytest.raises(ValueError, match="window must be positive"):
+            rolling_domain_bias(np.array([1]), np.array([1]), np.array([0]),
+                                ["a"], window=0)
+        with pytest.raises(ValueError, match="identical shapes"):
+            rolling_domain_bias(np.array([1, 0]), np.array([1]),
+                                np.array([0, 0]), ["a"], window=4)

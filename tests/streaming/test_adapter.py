@@ -1,0 +1,248 @@
+"""Ring-buffer writes, incremental adaptation, and continual onboarding."""
+
+import numpy as np
+import pytest
+
+from streaming_helpers import (
+    DTYPES,
+    MAX_LENGTH,
+    build_pipeline,
+    corpus,
+    ring_loader,
+)
+
+from repro.data import DataLoader, MultiDomainNewsDataset, NewsItem, StreamWindowBuffer
+from repro.encoders import stock_channels
+from repro.serve import load_pipeline
+from repro.streaming import AdapterConfig, OnlineAdapter
+from repro.tensor import default_dtype
+
+
+def _fresh_items(count, offset=100):
+    dataset, _ = corpus()
+    return [dataset.items[offset + i] for i in range(count)]
+
+
+class TestStreamWindowBuffer:
+    def test_written_rows_match_construction_time_encoding(self):
+        """Rows written through the ring are indistinguishable from rows the
+        loader would have produced had it been built over those items."""
+        pipeline = build_pipeline("float64")
+        loader = ring_loader(pipeline, rows=24)
+        items = _fresh_items(24)
+        buffer = StreamWindowBuffer(loader)
+        touched = buffer.write(items)
+        np.testing.assert_array_equal(touched, np.arange(24))
+
+        dataset, vocab = corpus()
+        reference = DataLoader(
+            MultiDomainNewsDataset(items, domain_names=list(dataset.domain_names)),
+            vocab, max_length=MAX_LENGTH, batch_size=16, shuffle=False, seed=0,
+            channels=stock_channels(pipeline.encoder))
+        np.testing.assert_array_equal(loader.token_ids, reference.token_ids)
+        np.testing.assert_array_equal(loader.mask, reference.mask)
+        np.testing.assert_array_equal(loader.labels, reference.labels)
+        np.testing.assert_array_equal(loader.domains, reference.domains)
+        for name in reference.features:
+            np.testing.assert_array_equal(loader.features[name],
+                                          reference.features[name])
+        assert loader.dataset.items == items
+
+    def test_ring_wraps_and_returns_touched_indices(self):
+        loader = ring_loader(build_pipeline("float64"), rows=16)
+        buffer = StreamWindowBuffer(loader)
+        first = buffer.write(_fresh_items(10))
+        np.testing.assert_array_equal(first, np.arange(10))
+        second = buffer.write(_fresh_items(10, offset=120))
+        np.testing.assert_array_equal(
+            second, np.array([10, 11, 12, 13, 14, 15, 0, 1, 2, 3]))
+        assert buffer.cursor == 4
+        assert buffer.written == 20
+
+    def test_empty_write_is_a_noop(self):
+        loader = ring_loader(build_pipeline("float64"), rows=16)
+        buffer = StreamWindowBuffer(loader)
+        touched = buffer.write([])
+        assert touched.size == 0
+        assert buffer.cursor == 0
+
+    def test_oversized_write_refused(self):
+        loader = ring_loader(build_pipeline("float64"), rows=8)
+        buffer = StreamWindowBuffer(loader)
+        with pytest.raises(ValueError, match="8-row ring"):
+            buffer.write(_fresh_items(9))
+
+    def test_invalid_items_refused(self):
+        loader = ring_loader(build_pipeline("float64"), rows=8)
+        buffer = StreamWindowBuffer(loader)
+        with pytest.raises(ValueError, match="invalid label"):
+            buffer.write([NewsItem(text="x", label=7, domain=0)])
+        with pytest.raises(ValueError, match="outside"):
+            buffer.write([NewsItem(text="x", label=1, domain=99)])
+        with pytest.raises(TypeError, match="NewsItem"):
+            buffer.write(["just a string"])
+
+    def test_requires_channel_built_loader(self, train_loader):
+        # The root-conftest loader uses feature_extractors=, which are
+        # consumed at construction — rows cannot be recomputed in place.
+        with pytest.raises(ValueError, match="channels="):
+            StreamWindowBuffer(train_loader)
+
+
+def _adapter(dtype, export_path, distilled=False, rows=32, **config_kwargs):
+    pipeline = build_pipeline(dtype, "textcnn_s")
+    loader = ring_loader(pipeline, rows=rows)
+    teachers = {}
+    if distilled:
+        from repro.models import build_model
+        from streaming_helpers import small_config
+
+        dataset, _ = corpus()
+        with default_dtype(dtype):
+            teachers = {
+                "unbiased_teacher": build_model(
+                    "mdfend", small_config(dataset.num_domains, seed=6)),
+                "clean_teacher": build_model(
+                    "mdfend", small_config(dataset.num_domains, seed=7)),
+            }
+    return OnlineAdapter(pipeline, loader,
+                         AdapterConfig(export_path=str(export_path),
+                                       **config_kwargs), **teachers)
+
+
+class TestOnlineAdapter:
+    def test_initial_export_exists_before_any_traffic(self, tmp_path):
+        adapter = _adapter("float64", tmp_path / "artifact")
+        loaded = load_pipeline(tmp_path / "artifact")
+        assert loaded.fingerprint() == adapter.pipeline.fingerprint()
+
+    def test_adapt_without_feedback_returns_none(self, tmp_path):
+        adapter = _adapter("float64", tmp_path / "artifact")
+        assert adapter.adapt("score_drift:health", ordinal=10) is None
+        assert adapter.adaptations == []
+
+    def test_adapt_trains_and_reexports(self, tmp_path):
+        adapter = _adapter("float64", tmp_path / "artifact")
+        before = adapter.pipeline.fingerprint()
+        for item in _fresh_items(6):
+            adapter.ingest(item)
+        assert adapter.feedback_count == 6
+        record = adapter.adapt("score_drift:health", ordinal=42)
+        assert record is not None
+        assert record.ordinal == 42
+        assert record.items == 6
+        assert record.touched_rows == 6
+        assert len(record.losses) == record.epochs == 1
+        assert record.fingerprint != before
+        assert adapter.feedback_count == 0
+        # The exported artifact carries exactly the fine-tuned weights.
+        loaded = load_pipeline(tmp_path / "artifact")
+        assert loaded.fingerprint() == record.fingerprint
+        for key, value in loaded.model.state_dict().items():
+            np.testing.assert_array_equal(
+                value, adapter.pipeline.model.state_dict()[key])
+
+    def test_oversized_feedback_keeps_newest_ring_rows(self, tmp_path):
+        adapter = _adapter("float64", tmp_path / "artifact", rows=16)
+        for item in _fresh_items(30):
+            adapter.ingest(item)
+        record = adapter.adapt("feedback", ordinal=0)
+        assert record.items == 16  # ring capacity; oldest 14 dropped
+
+    def test_feedback_for_domain_counts_by_name(self, tmp_path):
+        adapter = _adapter("float64", tmp_path / "artifact")
+        names = adapter.loader.dataset.domain_names
+        adapter.ingest(NewsItem(text="x", label=1, domain=0,
+                                domain_name=names[0]))
+        adapter.ingest(NewsItem(text="y", label=0, domain=1,
+                                domain_name=names[1]))
+        assert adapter.feedback_for_domain(names[0]) == 1
+        assert adapter.feedback_for_domain(names[1]) == 1
+        assert adapter.feedback_for_domain("missing") == 0
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_distilled_adapt_invalidates_only_touched_windows(self, dtype,
+                                                              tmp_path):
+        adapter = _adapter(dtype, tmp_path / "artifact", distilled=True,
+                           rows=32)
+        # First adaptation materialises the teacher caches from scratch.
+        for item in _fresh_items(4):
+            adapter.ingest(item)
+        adapter.adapt("warmup", ordinal=0)
+        caches = [cache for pair in adapter.trainer._teacher_caches.values()
+                  for cache in pair if cache is not None]
+        assert caches, "DTDBD trainer should have built teacher caches"
+        for cache in caches:
+            assert cache.materialised
+            assert cache.recomputed_windows == 0
+        # Second adaptation touches rows 4..7 — one 16-row window of two.
+        for item in _fresh_items(4, offset=140):
+            adapter.ingest(item)
+        adapter.adapt("score_drift:health", ordinal=1)
+        for cache in caches:
+            assert cache.recomputed_windows == 1
+
+    def test_onboard_domain_end_to_end(self, tmp_path):
+        adapter = _adapter("float64", tmp_path / "artifact", distilled=True)
+        old_trainer = adapter.trainer
+        record = adapter.onboard_domain("crypto", ordinal=77)
+        assert record["domain"] == "crypto"
+        assert record["domain_index"] == 9
+        assert record["num_domains"] == 10
+        assert adapter.pipeline.model_config.num_domains == 10
+        assert adapter.loader.dataset.domain_names[-1] == "crypto"
+        assert adapter.pipeline.domain_names[-1] == "crypto"
+        # Both frozen teachers grew with the student.
+        assert adapter.unbiased_teacher.config.num_domains == 10
+        assert adapter.clean_teacher.config.num_domains == 10
+        # Trainer was rebuilt (optimizer moments must match new shapes) with
+        # the teacher caches transplanted, not recomputed.
+        assert adapter.trainer is not old_trainer
+        assert adapter.trainer._teacher_caches is old_trainer._teacher_caches
+        # The re-export is loadable and carries the grown domain vocabulary.
+        loaded = load_pipeline(tmp_path / "artifact")
+        assert loaded.domain_names[-1] == "crypto"
+        assert loaded.model_config.num_domains == 10
+
+    def test_onboard_duplicate_domain_rejected(self, tmp_path):
+        adapter = _adapter("float64", tmp_path / "artifact")
+        existing = adapter.loader.dataset.domain_names[0]
+        with pytest.raises(ValueError, match="already exists"):
+            adapter.onboard_domain(existing, ordinal=0)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_onboarding_preserves_existing_domain_predictions(self, dtype,
+                                                              tmp_path):
+        """The narrative's bit-identity pin: after onboarding + hot reload,
+        every pre-onboarding domain scores exactly as the pre-expansion
+        artifact did."""
+        adapter = _adapter(dtype, tmp_path / "artifact")
+        pipeline = adapter.pipeline
+        dataset, _ = corpus()
+        texts = [item.text for item in dataset.items[:12]]
+        domains = [item.domain for item in dataset.items[:12]]
+        predictor = pipeline.predictor()
+        with default_dtype(dtype):
+            before = predictor.predict_proba(texts, domains=domains)
+            adapter.onboard_domain("crypto", ordinal=5)
+            fingerprint = predictor.reload(str(tmp_path / "artifact"))
+            after = predictor.predict_proba(texts, domains=domains)
+        np.testing.assert_array_equal(after, before)
+        assert fingerprint == adapter.pipeline.fingerprint()
+        assert predictor.pipeline.model_config.num_domains == 10
+
+    def test_mismatched_loader_and_pipeline_rejected(self, tmp_path):
+        pipeline = build_pipeline("float64")
+        loader = ring_loader(pipeline, rows=16)
+        loader.dataset.domain_names[0] = "renamed"
+        with pytest.raises(ValueError, match="disagree on domain names"):
+            OnlineAdapter(pipeline, loader,
+                          AdapterConfig(export_path=str(tmp_path / "a")))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="export_path"):
+            AdapterConfig(export_path="")
+        with pytest.raises(ValueError, match="epochs_per_adaptation"):
+            AdapterConfig(export_path="x", epochs_per_adaptation=0)
+        with pytest.raises(ValueError, match="min_feedback"):
+            AdapterConfig(export_path="x", min_feedback=0)

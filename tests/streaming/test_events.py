@@ -1,0 +1,112 @@
+"""Stream/drift event serialisation and schedule persistence."""
+
+import json
+
+import pytest
+
+from repro.streaming import (
+    SCHEDULE_FORMAT_VERSION,
+    DriftEvent,
+    StreamEvent,
+    drift_log_text,
+    load_schedule,
+    save_schedule,
+)
+
+
+class TestStreamEvent:
+    def test_round_trip(self):
+        event = StreamEvent(ordinal=3, text="breaking news", domain="health",
+                            label=1, metadata={"phase": "seed"})
+        assert StreamEvent.from_dict(event.as_dict()) == event
+
+    def test_unlabeled_round_trip(self):
+        event = StreamEvent(ordinal=0, text="x", domain="science")
+        restored = StreamEvent.from_dict(event.as_dict())
+        assert restored.label is None
+        assert restored == event
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a serialised StreamEvent"):
+            StreamEvent.from_dict({"text": "missing ordinal"})
+        with pytest.raises(ValueError, match="not a serialised StreamEvent"):
+            StreamEvent.from_dict({"ordinal": "NaNish", "text": "x",
+                                   "domain": "d"})
+
+
+class TestDriftEvent:
+    def _event(self):
+        return DriftEvent(ordinal=42, domain="disaster", kind="score_drift",
+                          value=0.31, threshold=0.25, window=16,
+                          details={"reference_size": 8})
+
+    def test_round_trip(self):
+        event = self._event()
+        assert DriftEvent.from_dict(event.as_dict()) == event
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a serialised DriftEvent"):
+            DriftEvent.from_dict({"domain": "d"})
+
+    def test_drift_log_is_canonical_json_lines(self):
+        events = [self._event(),
+                  DriftEvent(ordinal=50, domain="health", kind="bias_drift",
+                             value=0.5, threshold=0.25, window=12, details={})]
+        text = drift_log_text(events)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        for line, event in zip(lines, events):
+            payload = json.loads(line)
+            assert payload == event.as_dict()
+            # Canonical form: sorted keys, no whitespace separators.
+            assert line == json.dumps(payload, sort_keys=True,
+                                      separators=(",", ":"))
+
+    def test_drift_log_byte_stable_across_calls(self):
+        events = [self._event()]
+        assert drift_log_text(events) == drift_log_text(list(events))
+
+
+class TestSchedulePersistence:
+    def _events(self):
+        return [StreamEvent(ordinal=i, text=f"item {i}", domain="health",
+                            label=i % 2 if i % 3 else None)
+                for i in range(6)]
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "schedule.json"
+        events = self._events()
+        save_schedule(events, path, metadata={"source": "unit"})
+        loaded, metadata = load_schedule(path)
+        assert loaded == events
+        assert metadata == {"source": "unit"}
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read stream schedule"):
+            load_schedule(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_schedule(path)
+
+    def test_load_rejects_future_format_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({
+            "format_version": SCHEDULE_FORMAT_VERSION + 1, "events": []}))
+        with pytest.raises(ValueError, match="format version"):
+            load_schedule(path)
+
+    def test_load_rejects_missing_version(self, tmp_path):
+        path = tmp_path / "versionless.json"
+        path.write_text(json.dumps({"events": []}))
+        with pytest.raises(ValueError, match="format version"):
+            load_schedule(path)
+
+    def test_load_rejects_out_of_order_ordinals(self, tmp_path):
+        path = tmp_path / "unsorted.json"
+        events = self._events()[::-1]
+        save_schedule(events, path)
+        with pytest.raises(ValueError, match="out-of-order ordinals"):
+            load_schedule(path)

@@ -1,0 +1,124 @@
+"""Domain-axis expansion: bit-identical old domains, donor-cloned new ones."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from streaming_helpers import DTYPES, build_pipeline, corpus, ring_loader, small_config
+
+from repro.models import build_model, expand_domains
+from repro.serve import load_pipeline, save_pipeline
+from repro.tensor import default_dtype
+
+
+def _probe_batch(pipeline, rows=16):
+    return ring_loader(pipeline, rows=rows).window(0, rows)
+
+
+def _with_domains(batch, domain_index):
+    return dataclasses.replace(
+        batch, domains=np.full_like(batch.domains, domain_index))
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("name", ("mdfend", "eann", "eddfn"))
+class TestExpandParameterised:
+    def test_old_domain_predictions_bit_identical(self, name, dtype):
+        pipeline = build_pipeline(dtype, name)
+        model = pipeline.model
+        batch = _probe_batch(pipeline)
+        with default_dtype(dtype):
+            before = model.predict_proba(batch)
+            grown = expand_domains(model, 10)
+            after = model.predict_proba(batch)
+        assert grown, f"{name} has domain-indexed parameters to grow"
+        assert model.config.num_domains == 10
+        np.testing.assert_array_equal(after, before)
+
+    def test_expanded_model_round_trips_through_artifact(self, name, dtype,
+                                                         tmp_path):
+        pipeline = build_pipeline(dtype, name)
+        batch = _probe_batch(pipeline)
+        with default_dtype(dtype):
+            expand_domains(pipeline.model, 10)
+            pipeline.model_config = pipeline.model.config
+            pipeline.domain_names.append("crypto")
+            expected = pipeline.model.predict_proba(batch)
+            loaded = load_pipeline(save_pipeline(pipeline, tmp_path / "a"))
+            restored = loaded.model.predict_proba(batch)
+        assert loaded.model_config.num_domains == 10
+        assert loaded.domain_names[-1] == "crypto"
+        np.testing.assert_array_equal(restored, expected)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestExpandBehaviour:
+    def test_new_domain_is_a_donor_clone(self, dtype):
+        """MDFEND consumes the domain id as input: the onboarded domain must
+        start as an exact behavioural copy of the donor."""
+        pipeline = build_pipeline(dtype, "mdfend")
+        model = pipeline.model
+        batch = _probe_batch(pipeline)
+        with default_dtype(dtype):
+            expand_domains(model, 10, donor=2)
+            donor_probs = model.predict_proba(_with_domains(batch, 2))
+            new_probs = model.predict_proba(_with_domains(batch, 9))
+        np.testing.assert_array_equal(new_probs, donor_probs)
+
+    def test_domain_free_student_expands_config_only(self, dtype):
+        pipeline = build_pipeline(dtype, "textcnn_s")
+        model = pipeline.model
+        batch = _probe_batch(pipeline)
+        with default_dtype(dtype):
+            before = model.predict_proba(batch)
+            grown = expand_domains(model, 10)
+            after = model.predict_proba(batch)
+        assert grown == []
+        assert model.config.num_domains == 10
+        np.testing.assert_array_equal(after, before)
+
+
+class TestExpandErrors:
+    def _model(self, name="mdfend"):
+        dataset, _ = corpus()
+        return build_model(name, small_config(dataset.num_domains))
+
+    def test_m3fend_refuses_expansion(self):
+        model = self._model("m3fend")
+        with pytest.raises(ValueError, match="does not support bit-identical"):
+            expand_domains(model, 10)
+
+    def test_shrinking_rejected(self):
+        with pytest.raises(ValueError, match="strictly larger"):
+            expand_domains(self._model(), 9)
+        with pytest.raises(ValueError, match="strictly larger"):
+            expand_domains(self._model(), 4)
+
+    def test_donor_out_of_range(self):
+        with pytest.raises(ValueError, match="donor domain"):
+            expand_domains(self._model(), 10, donor=9)
+        with pytest.raises(ValueError, match="donor domain"):
+            expand_domains(self._model(), 10, donor=-1)
+
+    def test_works_on_frozen_teachers(self):
+        model = self._model()
+        model.freeze()
+        grown = expand_domains(model, 10)
+        assert grown
+        assert model.parameters() == []  # still frozen after expansion
+
+    def test_hidden_layers_matching_domain_count_not_grown(self):
+        """An MLP hidden width equal to num_domains must not be mistaken for
+        a domain axis — only the head's output layer grows."""
+        dataset, _ = corpus()
+        config = small_config(dataset.num_domains)
+        config = config.with_overrides(mlp_hidden=(dataset.num_domains,))
+        model = build_model("eann", config)
+        head = model.domain_classifier.network
+        layers = [layer for layer in head._modules.values()
+                  if hasattr(layer, "out_features")]
+        hidden_before = layers[0].weight.data.shape
+        expand_domains(model, dataset.num_domains + 1)
+        assert layers[0].weight.data.shape == hidden_before
+        assert layers[-1].out_features == dataset.num_domains + 1

@@ -1,0 +1,150 @@
+"""End-to-end streaming narrative and replay determinism.
+
+The narrative: a seeded event stream drifts (one domain's style and labels
+shift), the monitor fires, the adapter fine-tunes on buffered feedback and
+hot-reloads the predictor; later a never-seen domain arrives, is onboarded
+bit-identically for the old domains, warmed up from few-shot labels, and
+served.  Replaying the same schedule reproduces the drift log byte for byte
+and the final weights bit for bit — in both dtype policies.
+"""
+
+import numpy as np
+import pytest
+
+from streaming_helpers import DTYPES, build_stack
+
+from repro.experiments import StreamScheduleConfig, generate_stream_schedule
+from repro.streaming import StreamEvent, StreamRunner, StreamConfig, DriftMonitor, DriftConfig
+from repro.tensor import default_dtype
+
+SCHEDULE = StreamScheduleConfig(scale=0.03, seed=2024, seed_events=48,
+                                drift_events=48, novel_events=12,
+                                novel_labeled=6)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    events, _metadata = generate_stream_schedule(SCHEDULE)
+    return events
+
+
+class TestNarrative:
+    def test_drift_adapt_onboard_serve(self, schedule, tmp_path):
+        """The full continual-learning story on a distilled student."""
+        runner = build_stack("float64", str(tmp_path / "artifact"),
+                            distilled=True)
+        with default_dtype("float64"):
+            report = runner.run(schedule)
+
+        # Every event was served: none failed, none skipped (the unknown
+        # domain was onboarded, not dropped).
+        assert report.events == len(schedule)
+        assert report.served == len(schedule)
+        assert report.failed == 0
+        assert report.skipped_unknown_domain == 0
+
+        # Act 1 — the induced drift was noticed...
+        assert report.drift_events, "monitor never fired on the drift phase"
+        kinds = {event["kind"] for event in report.drift_events}
+        assert kinds <= {"score_drift", "bias_drift"}
+
+        # ...and answered with at least one incremental fine-tune + reload.
+        assert report.adaptations
+        assert runner.predictor.reloads >= len(report.adaptations)
+
+        # Act 2 — the novel domain was onboarded exactly once, warmed up from
+        # its few-shot labels, and actually served traffic.
+        assert len(report.onboardings) == 1
+        onboarding = report.onboardings[0]
+        assert onboarding["domain"] == SCHEDULE.novel_domain
+        assert onboarding["num_domains"] == 10
+        assert any("onboard_warmup" in record["reason"]
+                   for record in report.adaptations)
+        assert report.served_by_domain[SCHEDULE.novel_domain] > 0
+
+        # The teachers grew alongside the student.
+        assert runner.adapter.unbiased_teacher.config.num_domains == 10
+        assert runner.adapter.clean_teacher.config.num_domains == 10
+
+        # The report's fingerprint is the live artifact's fingerprint, and is
+        # what the predictor last hot-reloaded.
+        assert report.final_fingerprint == runner.adapter.pipeline.fingerprint()
+        assert runner.predictor.last_reload_fingerprint == report.final_fingerprint
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_replay_is_deterministic(self, dtype, schedule, tmp_path):
+        """Same seed + same schedule ⇒ byte-identical drift logs, identical
+        adaptation trajectory, bit-identical final weights."""
+        reports, models = [], []
+        for replay in ("first", "second"):
+            runner = build_stack(dtype, str(tmp_path / replay))
+            with default_dtype(dtype):
+                reports.append(runner.run(schedule))
+            models.append(runner.adapter.pipeline.model)
+        first, second = reports
+        assert first.drift_log == second.drift_log
+        assert first.adaptations == second.adaptations
+        assert first.onboardings == second.onboardings
+        assert first.served_by_domain == second.served_by_domain
+        assert first.final_fingerprint == second.final_fingerprint
+        state_a, state_b = (model.state_dict() for model in models)
+        assert state_a.keys() == state_b.keys()
+        for key in state_a:
+            np.testing.assert_array_equal(state_a[key], state_b[key])
+
+
+class TestRunnerEdges:
+    def test_out_of_order_ordinals_rejected(self, tmp_path):
+        runner = build_stack("float64", str(tmp_path / "artifact"))
+        events = [StreamEvent(ordinal=5, text="a", domain="health"),
+                  StreamEvent(ordinal=5, text="b", domain="health")]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            runner.run(events)
+
+    def test_unknown_domain_skipped_without_adapter(self, tmp_path):
+        runner = build_stack("float64", str(tmp_path / "artifact"))
+        monitor = DriftMonitor(
+            runner.predictor.pipeline.domain_names,
+            DriftConfig(window=16, min_window=8, reference_size=8,
+                        min_labeled=8))
+        passive = StreamRunner(runner.predictor, monitor, adapter=None,
+                               config=StreamConfig(max_batch=4))
+        events = [StreamEvent(ordinal=0, text="known", domain="health"),
+                  StreamEvent(ordinal=1, text="novel", domain="crypto"),
+                  StreamEvent(ordinal=2, text="known too", domain="health")]
+        with default_dtype("float64"):
+            report = passive.run(events)
+        assert report.served == 2
+        assert report.skipped_unknown_domain == 1
+        assert report.onboardings == []
+        assert "crypto" not in report.served_by_domain
+
+    def test_stream_config_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            StreamConfig(max_batch=0)
+        with pytest.raises(ValueError, match="warmup_min_labeled"):
+            StreamConfig(warmup_min_labeled=0)
+
+
+class TestScheduleGenerator:
+    def test_three_phase_structure(self, schedule):
+        assert len(schedule) == (SCHEDULE.seed_events + SCHEDULE.drift_events
+                                 + SCHEDULE.novel_events)
+        ordinals = [event.ordinal for event in schedule]
+        assert ordinals == sorted(set(ordinals))
+        phases = {event.metadata.get("phase") for event in schedule}
+        assert phases == {"seed", "drift", "novel"}
+        novel = [event for event in schedule
+                 if event.domain == SCHEDULE.novel_domain]
+        assert len(novel) == SCHEDULE.novel_events
+        labeled_novel = [event for event in novel if event.label is not None]
+        assert len(labeled_novel) >= SCHEDULE.novel_labeled
+
+    def test_generation_is_seed_deterministic(self):
+        again, _ = generate_stream_schedule(SCHEDULE)
+        assert again == generate_stream_schedule(SCHEDULE)[0]
+        shifted, _ = generate_stream_schedule(
+            StreamScheduleConfig(scale=0.03, seed=2025, seed_events=48,
+                                 drift_events=48, novel_events=12,
+                                 novel_labeled=6))
+        assert shifted != again
